@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the learning substrate: forward/backward
+//! passes of the paper-size network and one full DQN learning step —
+//! the costs that dominate the paper's "couple of hours" offline phase.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrp_nn::net::{Head, QNet};
+use hrp_nn::replay::Transition;
+use hrp_nn::{DqnAgent, DqnConfig};
+
+const STATE_DIM: usize = 204; // W=12 × 17 features
+
+fn bench_forward(c: &mut Criterion) {
+    let mut net = QNet::new(STATE_DIM, &[512, 256, 128], 29, Head::Dueling, 1);
+    let x = vec![0.25f32; STATE_DIM];
+    c.bench_function("qnet_forward_paper_arch", |b| {
+        b.iter(|| black_box(net.forward(black_box(&x))))
+    });
+    c.bench_function("qnet_predict_paper_arch", |b| {
+        b.iter(|| black_box(net.predict(black_box(&x))))
+    });
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut net = QNet::new(STATE_DIM, &[512, 256, 128], 29, Head::Dueling, 1);
+    let x = vec![0.25f32; STATE_DIM];
+    let dq = vec![0.1f32; 29];
+    c.bench_function("qnet_forward_backward_paper_arch", |b| {
+        b.iter(|| {
+            let q = net.forward(black_box(&x));
+            net.backward(black_box(&dq));
+            black_box(q)
+        })
+    });
+}
+
+fn bench_learn_step(c: &mut Criterion) {
+    let cfg = DqnConfig::paper(STATE_DIM, 29);
+    let mut agent = DqnAgent::new(cfg);
+    for i in 0..64 {
+        agent.remember(Transition {
+            state: vec![0.1 * (i % 7) as f32; STATE_DIM],
+            action: i % 29,
+            reward: 1.0,
+            next_state: vec![0.1; STATE_DIM],
+            done: i % 3 == 0,
+            next_mask: u64::MAX >> (64 - 29),
+        });
+    }
+    c.bench_function("dqn_learn_step_batch32", |b| {
+        b.iter(|| black_box(agent.learn()))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_backward, bench_learn_step);
+criterion_main!(benches);

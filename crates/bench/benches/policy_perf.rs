@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the scheduling policies: the exhaustive
+//! baselines' set-partition DP (the paper's offline search cost) and a
+//! single group evaluation with assignment search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrp_core::exhaustive::for_each_small_subset;
+use hrp_core::policies::{MigOnly, MpsOnly, Policy, ScheduleContext};
+use hrp_core::problem::evaluate_group_best_assignment;
+use hrp_gpusim::engine::EngineConfig;
+use hrp_gpusim::{GpuArch, PartitionScheme};
+use hrp_workloads::{JobQueue, Suite};
+
+fn fixture() -> (Suite, JobQueue) {
+    let arch = GpuArch::a100();
+    let suite = Suite::paper_suite(&arch);
+    let queue = JobQueue::from_names(
+        "bench",
+        &[
+            "lavaMD",
+            "stream",
+            "kmeans",
+            "pathfinder",
+            "bt_solver_A",
+            "lud_A",
+            "sp_solver_B",
+            "qs_Coral_P1",
+        ],
+        &suite,
+    );
+    (suite, queue)
+}
+
+fn bench_mps_only_w8(c: &mut Criterion) {
+    let (suite, queue) = fixture();
+    c.bench_function("mps_only_exhaustive_w8", |b| {
+        b.iter(|| {
+            let ctx = ScheduleContext::new(&suite, &queue, 4);
+            black_box(MpsOnly.schedule(&ctx))
+        })
+    });
+}
+
+fn bench_mig_only_w8(c: &mut Criterion) {
+    let (suite, queue) = fixture();
+    c.bench_function("mig_only_exhaustive_w8", |b| {
+        b.iter(|| {
+            let ctx = ScheduleContext::new(&suite, &queue, 2);
+            black_box(MigOnly.schedule(&ctx))
+        })
+    });
+}
+
+fn bench_group_assignment(c: &mut Criterion) {
+    let (suite, queue) = fixture();
+    let arch = suite.arch().clone();
+    let scheme = PartitionScheme::hierarchical_3_4(vec![0.5, 0.5], vec![0.3, 0.7]);
+    let eng = EngineConfig::default();
+    c.bench_function("group_best_assignment_c4", |b| {
+        b.iter(|| {
+            black_box(evaluate_group_best_assignment(
+                &suite,
+                &queue,
+                &[0, 1, 2, 3],
+                &scheme,
+                &arch,
+                &eng,
+            ))
+        })
+    });
+}
+
+fn bench_subset_enumeration(c: &mut Criterion) {
+    c.bench_function("subset_enumeration_w12_c4", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for_each_small_subset(12, 4, |_, _| count += 1);
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mps_only_w8,
+    bench_mig_only_w8,
+    bench_group_assignment,
+    bench_subset_enumeration
+);
+criterion_main!(benches);

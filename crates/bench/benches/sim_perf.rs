@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the GPU-simulator substrate: the rate model,
+//! the discrete-event engine, partition compilation, and the notation
+//! parser. These are the inner loops of every exhaustive baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrp_gpusim::engine::{simulate_corun, EngineConfig};
+use hrp_gpusim::notation::{format_scheme, parse_scheme};
+use hrp_gpusim::perf::corun_rates;
+use hrp_gpusim::{AppModel, GpuArch, PartitionScheme};
+
+fn apps() -> Vec<AppModel> {
+    vec![
+        AppModel::builder("ci")
+            .parallel_fraction(0.96)
+            .compute_demand(0.9)
+            .mem_demand(0.3)
+            .solo_time(45.0)
+            .build(),
+        AppModel::builder("mi")
+            .parallel_fraction(0.94)
+            .compute_demand(0.4)
+            .mem_demand(0.85)
+            .interference_sensitivity(0.25)
+            .solo_time(55.0)
+            .build(),
+        AppModel::builder("us1")
+            .parallel_fraction(0.2)
+            .compute_demand(0.4)
+            .mem_demand(0.1)
+            .solo_time(16.0)
+            .build(),
+        AppModel::builder("us2")
+            .parallel_fraction(0.22)
+            .compute_demand(0.4)
+            .mem_demand(0.1)
+            .solo_time(14.0)
+            .build(),
+    ]
+}
+
+fn bench_rates(c: &mut Criterion) {
+    let arch = GpuArch::a100();
+    let apps = apps();
+    let part = PartitionScheme::hierarchical_3_4(vec![0.5, 0.5], vec![0.3, 0.7])
+        .compile(&arch)
+        .unwrap();
+    let occ: Vec<(&AppModel, usize)> = apps.iter().enumerate().map(|(i, a)| (a, i)).collect();
+    c.bench_function("corun_rates_4way_hierarchical", |b| {
+        b.iter(|| black_box(corun_rates(black_box(&occ), &part)))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let arch = GpuArch::a100();
+    let apps = apps();
+    let refs: Vec<&AppModel> = apps.iter().collect();
+    let part = PartitionScheme::hierarchical_3_4(vec![0.5, 0.5], vec![0.3, 0.7])
+        .compile(&arch)
+        .unwrap();
+    let cfg = EngineConfig::default();
+    c.bench_function("simulate_corun_4way", |b| {
+        b.iter(|| black_box(simulate_corun(black_box(&refs), &[0, 1, 2, 3], &part, &cfg)))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let arch = GpuArch::a100();
+    let scheme = PartitionScheme::hierarchical_3_4(vec![0.5, 0.5], vec![0.3, 0.7]);
+    c.bench_function("partition_compile_hierarchical", |b| {
+        b.iter(|| black_box(scheme.compile(&arch).unwrap()))
+    });
+}
+
+fn bench_notation(c: &mut Criterion) {
+    let scheme = PartitionScheme::hierarchical_3_4(vec![0.5, 0.5], vec![0.3, 0.7]);
+    let text = format_scheme(&scheme);
+    c.bench_function("notation_parse", |b| {
+        b.iter(|| black_box(parse_scheme(black_box(&text)).unwrap()))
+    });
+    c.bench_function("notation_format", |b| {
+        b.iter(|| black_box(format_scheme(black_box(&scheme))))
+    });
+}
+
+criterion_group!(benches, bench_rates, bench_engine, bench_compile, bench_notation);
+criterion_main!(benches);

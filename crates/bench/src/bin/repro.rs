@@ -1,0 +1,460 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] <command>
+//!
+//! commands:
+//!   table4    benchmark classification (Table IV)
+//!   table5    evaluation queues (Table V)
+//!   table7    partition spaces per concurrency (Table VII) + MIG combos
+//!   fig3      throughput vs MPS compute split, three mixes
+//!   fig4      bandwidth partitioning benefit (shared vs private)
+//!   fig5      partition variant comparison, four-program mix
+//!   fig8      throughput: five policies x Q1..Q12 + AM
+//!   fig9      average throughput vs window size W
+//!   fig10     average throughput vs Cmax
+//!   fig11     per-application slowdown
+//!   fig12     fairness
+//!   overhead  online decision latency + offline training cost
+//!   ablate-reward | ablate-agent | ablate-interference
+//!   all       everything above (fig8/11/12 share one training run)
+//! ```
+//!
+//! `--quick` shrinks the network and episode count for smoke runs; the
+//! defaults reproduce the paper-scale configuration.
+
+use hrp_bench::eval::{
+    ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
+};
+use hrp_bench::obs::{fig3_mps_sweep, fig4_bandwidth, fig5_variants, FIG5_MIX};
+use hrp_bench::report::{f3, Table};
+use hrp_core::actions::{mig_mps_space, mps_only_space, training_search_space};
+use hrp_core::metrics::arithmetic_mean;
+use hrp_core::train::TrainConfig;
+use hrp_gpusim::mig::valid_gi_combinations;
+use hrp_gpusim::GpuArch;
+use hrp_workloads::class::{classify, one_gpc_degradation};
+use hrp_workloads::queue::table_v_category;
+use hrp_workloads::Suite;
+use std::path::PathBuf;
+
+struct Options {
+    quick: bool,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+impl Options {
+    fn train_cfg(&self) -> TrainConfig {
+        let mut cfg = TrainConfig::paper();
+        cfg.seed = self.seed;
+        if self.quick {
+            cfg.hidden = vec![128, 64];
+            cfg.episodes = 400;
+        }
+        cfg
+    }
+
+    /// A cheaper configuration for the many-training commands
+    /// (fig9/fig10/ablations train several agents).
+    fn sweep_cfg(&self) -> TrainConfig {
+        let mut cfg = self.train_cfg();
+        if !self.quick {
+            cfg.hidden = vec![256, 128, 64];
+            cfg.episodes = 400;
+        }
+        cfg
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        quick: false,
+        seed: 42,
+        out: Some(PathBuf::from("results")),
+    };
+    let mut cmd = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts.quick = true;
+                args.remove(i);
+            }
+            "--seed" => {
+                args.remove(i);
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+                args.remove(i);
+            }
+            "--out" => {
+                args.remove(i);
+                opts.out = Some(PathBuf::from(args.get(i).expect("--out needs a dir")));
+                args.remove(i);
+            }
+            "--no-out" => {
+                opts.out = None;
+                args.remove(i);
+            }
+            other => {
+                cmd = Some(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let cmd = cmd.unwrap_or_else(|| {
+        eprintln!("usage: repro [--quick] [--seed N] [--out DIR|--no-out] <command>");
+        eprintln!("commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12");
+        eprintln!("          overhead ablate-reward ablate-agent ablate-interference all");
+        std::process::exit(2);
+    });
+
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    match cmd.as_str() {
+        "table4" => table4(&suite, &opts),
+        "table5" => table5(&suite, &opts),
+        "table7" => table7(&opts),
+        "fig3" => fig3(&suite, &opts),
+        "fig4" => fig4(&suite, &opts),
+        "fig5" => fig5(&suite, &opts),
+        "fig8" => {
+            let full = run_full(&suite, opts.train_cfg());
+            emit_fig8(&full, &opts);
+        }
+        "fig9" => fig9(&suite, &opts),
+        "fig10" => fig10(&suite, &opts),
+        "fig11" => {
+            let full = run_full(&suite, opts.train_cfg());
+            emit_fig11(&full, &opts);
+        }
+        "fig12" => {
+            let full = run_full(&suite, opts.train_cfg());
+            emit_fig12(&full, &opts);
+        }
+        "overhead" => {
+            let full = run_full(&suite, opts.train_cfg());
+            emit_overhead(&full, &opts);
+        }
+        "ablate-reward" => {
+            emit_pairs(
+                "ablate_reward",
+                "reward shaping",
+                &ablate_reward(&suite, opts.sweep_cfg()),
+                &opts,
+            );
+        }
+        "ablate-agent" => {
+            emit_pairs(
+                "ablate_agent",
+                "agent architecture",
+                &ablate_agent(&suite, opts.sweep_cfg()),
+                &opts,
+            );
+        }
+        "ablate-interference" => ablate_interference_cmd(&suite, &opts),
+        "oracle" => oracle_cmd(&suite, &opts),
+        "all" => {
+            table4(&suite, &opts);
+            table5(&suite, &opts);
+            table7(&opts);
+            fig3(&suite, &opts);
+            fig4(&suite, &opts);
+            fig5(&suite, &opts);
+            let full = run_full(&suite, opts.train_cfg());
+            emit_fig8(&full, &opts);
+            emit_fig11(&full, &opts);
+            emit_fig12(&full, &opts);
+            emit_overhead(&full, &opts);
+            fig9(&suite, &opts);
+            fig10(&suite, &opts);
+            emit_pairs(
+                "ablate_reward",
+                "reward shaping",
+                &ablate_reward(&suite, opts.sweep_cfg()),
+                &opts,
+            );
+            emit_pairs(
+                "ablate_agent",
+                "agent architecture",
+                &ablate_agent(&suite, opts.sweep_cfg()),
+                &opts,
+            );
+            ablate_interference_cmd(&suite, &opts);
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table4(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&[
+        "benchmark",
+        "table_iv_class",
+        "unseen",
+        "1gpc_degradation",
+        "sm_over_mem",
+        "classified",
+    ]);
+    for b in suite.benchmarks() {
+        t.row(vec![
+            b.app.name.clone(),
+            b.class.to_string(),
+            if b.unseen { "*" } else { "" }.into(),
+            f3(one_gpc_degradation(&b.app, suite.arch())),
+            f3(b.app.compute_memory_ratio()),
+            classify(&b.app, suite.arch()).to_string(),
+        ]);
+    }
+    t.emit("table4_classification", opts.out.as_deref());
+}
+
+fn table5(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&["queue", "category", "ci", "mi", "us", "jobs"]);
+    for (i, q) in evaluation_queues(suite, 12, opts.seed).iter().enumerate() {
+        let (ci, mi, us) = q.class_counts(suite);
+        let names: Vec<&str> = q.jobs.iter().map(|j| j.name.as_str()).collect();
+        t.row(vec![
+            q.label.clone(),
+            format!("{:?}", table_v_category(i)),
+            ci.to_string(),
+            mi.to_string(),
+            us.to_string(),
+            names.join(","),
+        ]);
+    }
+    t.emit("table5_queues", opts.out.as_deref());
+}
+
+fn table7(opts: &Options) {
+    let mut t = Table::new(&["concurrency", "family", "count", "setups"]);
+    for c in 2..=4usize {
+        let mps: Vec<String> = mps_only_space(c).iter().map(ToString::to_string).collect();
+        t.row(vec![
+            c.to_string(),
+            "MPS only".into(),
+            mps.len().to_string(),
+            mps.join("; "),
+        ]);
+        let hier: Vec<String> = mig_mps_space(c)
+            .iter()
+            .filter(|s| s.uses_mig())
+            .map(ToString::to_string)
+            .collect();
+        t.row(vec![
+            c.to_string(),
+            "MIG+MPS".into(),
+            hier.len().to_string(),
+            // The full C=4 list is long; elide the middle like the paper.
+            if hier.len() > 6 {
+                format!(
+                    "{}; ...; {}",
+                    hier[..3].join("; "),
+                    hier[hier.len() - 1]
+                )
+            } else {
+                hier.join("; ")
+            },
+        ]);
+    }
+    let combos = valid_gi_combinations(true);
+    let rendered: Vec<String> = combos
+        .iter()
+        .map(|c| {
+            c.iter()
+                .map(|p| format!("{}g", p.compute_slices()))
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect();
+    t.row(vec![
+        "-".into(),
+        "maximal MIG GI combinations".into(),
+        combos.len().to_string(),
+        rendered.join("; "),
+    ]);
+    t.emit("table7_partitions", opts.out.as_deref());
+}
+
+fn fig3(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&["mix", "share_app1", "rel_throughput", "best_share"]);
+    for sweep in fig3_mps_sweep(suite) {
+        for (share, tp) in &sweep.points {
+            t.row(vec![
+                sweep.mix.clone(),
+                f3(*share),
+                f3(*tp),
+                f3(sweep.best_share),
+            ]);
+        }
+    }
+    t.emit("fig3_mps_sweep", opts.out.as_deref());
+}
+
+fn fig4(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&["mix", "orientation", "shared", "private", "gain"]);
+    for c in fig4_bandwidth(suite) {
+        t.row(vec![
+            c.mix.clone(),
+            c.orientation.clone(),
+            f3(c.shared),
+            f3(c.private),
+            f3(c.private / c.shared),
+        ]);
+    }
+    t.emit("fig4_bandwidth", opts.out.as_deref());
+}
+
+fn fig5(suite: &Suite, opts: &Options) {
+    println!("# fig5 mix: {}", FIG5_MIX.join(", "));
+    let mut t = Table::new(&["option", "rel_throughput", "best_setup"]);
+    for v in fig5_variants(suite) {
+        t.row(vec![v.option.clone(), f3(v.throughput), v.detail.clone()]);
+    }
+    t.emit("fig5_variants", opts.out.as_deref());
+}
+
+fn emit_fig8(full: &FullEvaluation, opts: &Options) {
+    let mut header: Vec<String> = vec!["policy".into()];
+    header.extend(full.queues.iter().map(|q| q.label.clone()));
+    header.push("AM".into());
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    for run in &full.runs {
+        let mut row = vec![run.policy.clone()];
+        row.extend(run.metrics.iter().map(|m| f3(m.throughput)));
+        row.push(f3(run.mean_throughput()));
+        t.row(row);
+    }
+    t.emit("fig8_throughput", opts.out.as_deref());
+}
+
+fn emit_fig11(full: &FullEvaluation, opts: &Options) {
+    let mut header: Vec<String> = vec!["policy".into()];
+    header.extend(full.queues.iter().map(|q| q.label.clone()));
+    header.push("AM".into());
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    for run in &full.runs {
+        let mut row = vec![run.policy.clone()];
+        row.extend(run.metrics.iter().map(|m| f3(m.avg_slowdown)));
+        row.push(f3(run.mean_slowdown()));
+        t.row(row);
+    }
+    t.emit("fig11_slowdown", opts.out.as_deref());
+}
+
+fn emit_fig12(full: &FullEvaluation, opts: &Options) {
+    let mut header: Vec<String> = vec!["policy".into()];
+    header.extend(full.queues.iter().map(|q| q.label.clone()));
+    header.push("AM".into());
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    for run in &full.runs {
+        let mut row = vec![run.policy.clone()];
+        row.extend(run.metrics.iter().map(|m| f3(m.fairness)));
+        row.push(f3(run.mean_fairness()));
+        t.row(row);
+    }
+    t.emit("fig12_fairness", opts.out.as_deref());
+}
+
+fn emit_overhead(full: &FullEvaluation, opts: &Options) {
+    let mut t = Table::new(&["quantity", "value"]);
+    t.row(vec![
+        "online decision latency per window [ms]".into(),
+        f3(full.online_decision_ms),
+    ]);
+    let mean_window_secs =
+        arithmetic_mean(&full.runs[4].metrics, |m| m.total_time);
+    t.row(vec![
+        "mean window runtime (RL) [s]".into(),
+        f3(mean_window_secs),
+    ]);
+    t.row(vec![
+        "online overhead [% of window runtime]".into(),
+        f3(full.online_decision_ms / 10.0 / mean_window_secs),
+    ]);
+    t.row(vec![
+        "offline training wall time [s]".into(),
+        f3(full.train_secs),
+    ]);
+    t.row(vec![
+        "training search-space bound (W=12, Cmax=4)".into(),
+        format!("{:.3e}", training_search_space(12, 4)),
+    ]);
+    t.emit("overhead", opts.out.as_deref());
+}
+
+fn fig9(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&["policy", "W", "mean_throughput"]);
+    for w in [4usize, 8, 12, 16] {
+        let mut cfg = opts.sweep_cfg();
+        cfg.w = w;
+        let full = run_full(suite, cfg);
+        for run in &full.runs {
+            t.row(vec![
+                run.policy.clone(),
+                w.to_string(),
+                f3(run.mean_throughput()),
+            ]);
+        }
+    }
+    t.emit("fig9_window_scaling", opts.out.as_deref());
+}
+
+fn fig10(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&["policy", "Cmax", "mean_throughput"]);
+    for cmax in [2usize, 3, 4] {
+        let mut cfg = opts.sweep_cfg();
+        cfg.cmax = cmax;
+        let full = run_full(suite, cfg);
+        for run in &full.runs {
+            t.row(vec![
+                run.policy.clone(),
+                cmax.to_string(),
+                f3(run.mean_throughput()),
+            ]);
+        }
+    }
+    t.emit("fig10_cmax_scaling", opts.out.as_deref());
+}
+
+fn emit_pairs(name: &str, what: &str, rows: &[(String, f64)], opts: &Options) {
+    let mut t = Table::new(&[what, "mean_throughput"]);
+    for (label, tp) in rows {
+        t.row(vec![label.clone(), f3(*tp)]);
+    }
+    t.emit(name, opts.out.as_deref());
+}
+
+fn oracle_cmd(suite: &Suite, opts: &Options) {
+    use hrp_bench::eval::eval_policy;
+    use hrp_core::policies::OracleGreedy;
+    let queues = evaluation_queues(suite, 12, opts.seed);
+    let oracle = OracleGreedy::new(suite);
+    let run = eval_policy(suite, &queues, 4, &oracle);
+    let mut t = Table::new(&["queue", "throughput"]);
+    for m in &run.metrics {
+        t.row(vec![m.label.clone(), f3(m.throughput)]);
+    }
+    t.row(vec!["AM".into(), f3(run.mean_throughput())]);
+    t.emit("oracle_reference", opts.out.as_deref());
+}
+
+fn ablate_interference_cmd(suite: &Suite, opts: &Options) {
+    let mut t = Table::new(&[
+        "interference_factor",
+        "mps_only_mean",
+        "mig_only_mean",
+        "mig_over_mps",
+    ]);
+    for (factor, mps, mig) in ablate_interference(suite, 12, 4, opts.seed) {
+        t.row(vec![f3(factor), f3(mps), f3(mig), f3(mig / mps)]);
+    }
+    t.emit("ablate_interference", opts.out.as_deref());
+}

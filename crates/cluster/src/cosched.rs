@@ -1,0 +1,177 @@
+//! The co-scheduling dispatcher: single-GPU jobs are batched into
+//! windows of `W` and scheduled on one GPU by a node-local
+//! [`hrp_core::policies::Policy`]; multi-GPU jobs gang-schedule
+//! exclusively (the paper defers their co-location to future work
+//! because of the load-imbalance problem it describes in §VI).
+
+use crate::job::ClusterJob;
+use crate::sim::{Dispatcher, Placement};
+use hrp_core::policies::{Policy, ScheduleContext};
+use hrp_gpusim::engine::EngineConfig;
+use hrp_workloads::{Job, JobQueue, Suite};
+
+/// Dispatcher wrapping a node-local co-scheduling policy.
+pub struct CoSchedulingDispatcher<P: Policy> {
+    policy: P,
+    w: usize,
+    cmax: usize,
+    engine: EngineConfig,
+    windows: usize,
+    /// Flush windows even when under-full once the backlog is this old
+    /// (prevents starvation at trace end).
+    flush_partial: bool,
+}
+
+impl<P: Policy> CoSchedulingDispatcher<P> {
+    /// New dispatcher with window size `w` and concurrency cap `cmax`.
+    #[must_use]
+    pub fn new(policy: P, w: usize, cmax: usize) -> Self {
+        Self {
+            policy,
+            w,
+            cmax,
+            engine: EngineConfig::default(),
+            windows: 0,
+            flush_partial: true,
+        }
+    }
+
+    /// Number of windows scheduled so far.
+    #[must_use]
+    pub fn windows_scheduled(&self) -> usize {
+        self.windows
+    }
+}
+
+impl<P: Policy> Dispatcher for CoSchedulingDispatcher<P> {
+    fn name(&self) -> &'static str {
+        "co-scheduling"
+    }
+
+    fn next_placement(
+        &mut self,
+        suite: &Suite,
+        waiting: &[ClusterJob],
+        free_gpus: usize,
+        _now: f64,
+    ) -> Option<Placement> {
+        if free_gpus == 0 {
+            return None;
+        }
+        // Multi-GPU head jobs run exclusively as soon as they fit.
+        if let Some(job) = waiting.iter().find(|j| j.gpus > 1 && j.gpus <= free_gpus) {
+            return Some(Placement {
+                job_ids: vec![job.id],
+                gpus: job.gpus,
+                duration: job.solo_time(suite),
+            });
+        }
+        // Batch single-GPU jobs into a window.
+        let singles: Vec<&ClusterJob> = waiting.iter().filter(|j| j.gpus == 1).collect();
+        if singles.is_empty() {
+            return None;
+        }
+        let take = singles.len().min(self.w);
+        if take < self.w && !self.flush_partial {
+            return None;
+        }
+        let batch = &singles[..take];
+        let queue = JobQueue {
+            label: format!("win{}", self.windows),
+            jobs: batch
+                .iter()
+                .enumerate()
+                .map(|(id, j)| Job {
+                    id,
+                    name: j.name.clone(),
+                    bench: j.bench,
+                })
+                .collect(),
+        };
+        let ctx = ScheduleContext {
+            suite,
+            queue: &queue,
+            cmax: self.cmax,
+            engine: self.engine.clone(),
+        };
+        let decision = self.policy.schedule(&ctx);
+        self.windows += 1;
+        Some(Placement {
+            job_ids: batch.iter().map(|j| j.id).collect(),
+            gpus: 1,
+            duration: decision.total_time(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fcfs::FcfsBackfill;
+    use crate::sim::ClusterSim;
+    use hrp_core::policies::MpsOnly;
+    use hrp_gpusim::GpuArch;
+
+    fn suite() -> Suite {
+        Suite::paper_suite(&GpuArch::a100())
+    }
+
+    /// An over-crowded queue: everything arrives at t = 0.
+    fn crowded_trace(s: &Suite) -> Vec<ClusterJob> {
+        let names = [
+            "lavaMD",
+            "stream",
+            "kmeans",
+            "pathfinder",
+            "bt_solver_A",
+            "lud_A",
+            "sp_solver_B",
+            "qs_Coral_P1",
+        ];
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ClusterJob::new(i, n, 0.0, 1, s))
+            .collect()
+    }
+
+    #[test]
+    fn cosched_beats_fcfs_on_crowded_queue() {
+        let s = suite();
+        let sim = ClusterSim::new(2);
+        let fcfs = sim.run(&s, crowded_trace(&s), &mut FcfsBackfill::new());
+        let mut co = CoSchedulingDispatcher::new(MpsOnly, 4, 4);
+        let cos = sim.run(&s, crowded_trace(&s), &mut co);
+        assert!(
+            cos.makespan < fcfs.makespan,
+            "co-scheduling {} should beat FCFS {}",
+            cos.makespan,
+            fcfs.makespan
+        );
+        assert_eq!(co.windows_scheduled(), 2);
+    }
+
+    #[test]
+    fn multi_gpu_jobs_run_exclusively() {
+        let s = suite();
+        let jobs = vec![
+            ClusterJob::new(0, "lavaMD", 0.0, 2, &s),
+            ClusterJob::new(1, "stream", 0.0, 1, &s),
+        ];
+        let mut co = CoSchedulingDispatcher::new(MpsOnly, 4, 4);
+        let report = ClusterSim::new(2).run(&s, jobs, &mut co);
+        assert_eq!(report.placements, 2);
+    }
+
+    #[test]
+    fn partial_windows_flush() {
+        let s = suite();
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 0.0, 1, &s),
+            ClusterJob::new(1, "kmeans", 0.0, 1, &s),
+        ];
+        let mut co = CoSchedulingDispatcher::new(MpsOnly, 12, 4);
+        let report = ClusterSim::new(1).run(&s, jobs, &mut co);
+        assert_eq!(report.placements, 1, "two jobs in one partial window");
+    }
+}

@@ -1,0 +1,34 @@
+//! # hrp-cluster — the cluster-scale extension (paper §VI)
+//!
+//! The paper's Discussion sketches how node-local hierarchical
+//! partitioning extends to a cluster: add a top level of node/GPU
+//! allocation, include each job's requested GPU count in its feature
+//! vector, and switch between co-scheduling (for over-crowded queues) and
+//! classic FCFS + backfilling (for light load). This crate implements
+//! that sketch:
+//!
+//! * [`job`] — cluster jobs with arrival times and GPU counts;
+//! * [`sim`] — an event-driven cluster simulator (GPUs as resources,
+//!   job completions as events);
+//! * [`fcfs`] — First-Come-First-Serve with conservative backfilling
+//!   (the comparator the paper names);
+//! * [`cosched`] — the co-scheduling dispatcher: single-GPU jobs are
+//!   batched into windows and handed to any node-local
+//!   [`hrp_core::policies::Policy`]; multi-GPU jobs gang-schedule
+//!   exclusively (the paper flags co-locating them as future work);
+//! * [`select`] — the queue-pressure policy selector of §VI.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cosched;
+pub mod fcfs;
+pub mod job;
+pub mod select;
+pub mod sim;
+
+pub use cosched::CoSchedulingDispatcher;
+pub use fcfs::FcfsBackfill;
+pub use job::ClusterJob;
+pub use select::{select_policy, PressurePolicy};
+pub use sim::{ClusterReport, ClusterSim};

@@ -1,0 +1,54 @@
+//! Queue-pressure policy selection (paper §VI):
+//!
+//! > "When the system becomes less crowded, a commonly used scheduling
+//! > policy such as FCFS with backfilling without co-scheduling can be a
+//! > more efficient option. Therefore, in practice, we may choose the
+//! > policy between them depending on the system state."
+
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling regime to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PressurePolicy {
+    /// Light load: FCFS + backfilling, no co-scheduling.
+    Fcfs,
+    /// Over-crowded: window co-scheduling.
+    CoScheduling,
+}
+
+/// Pick a regime from the current backlog: co-schedule when the number
+/// of waiting single-GPU jobs per free GPU reaches `threshold` (the
+/// paper's "over-crowded systems with long queuing times" trigger).
+#[must_use]
+pub fn select_policy(waiting_singles: usize, total_gpus: usize, threshold: f64) -> PressurePolicy {
+    let pressure = waiting_singles as f64 / total_gpus.max(1) as f64;
+    if pressure >= threshold {
+        PressurePolicy::CoScheduling
+    } else {
+        PressurePolicy::Fcfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_uses_fcfs() {
+        assert_eq!(select_policy(1, 4, 2.0), PressurePolicy::Fcfs);
+        assert_eq!(select_policy(0, 1, 2.0), PressurePolicy::Fcfs);
+    }
+
+    #[test]
+    fn crowded_queue_co_schedules() {
+        assert_eq!(select_policy(8, 4, 2.0), PressurePolicy::CoScheduling);
+        assert_eq!(select_policy(100, 4, 2.0), PressurePolicy::CoScheduling);
+    }
+
+    #[test]
+    fn threshold_is_per_gpu() {
+        // 6 waiting on 2 GPUs = pressure 3.
+        assert_eq!(select_policy(6, 2, 3.0), PressurePolicy::CoScheduling);
+        assert_eq!(select_policy(5, 2, 3.0), PressurePolicy::Fcfs);
+    }
+}

@@ -1,0 +1,243 @@
+//! Event-driven cluster simulation scaffolding.
+//!
+//! The cluster is a pool of identical GPUs. Dispatchers (FCFS, the
+//! co-scheduling extension) decide what to start whenever a GPU frees or
+//! a job arrives; the simulator advances time between those events and
+//! collects the report.
+
+use crate::job::ClusterJob;
+use hrp_workloads::Suite;
+
+/// A unit of work the dispatcher starts on one or more GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Job ids covered by this placement (one for exclusive runs, many
+    /// for a co-scheduled window).
+    pub job_ids: Vec<usize>,
+    /// Number of GPUs occupied.
+    pub gpus: usize,
+    /// Wall time the placement occupies its GPUs.
+    pub duration: f64,
+}
+
+/// Cluster-run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Time the last job finished.
+    pub makespan: f64,
+    /// Mean job wait time (start − arrival).
+    pub avg_wait: f64,
+    /// Mean GPU busy fraction over the makespan.
+    pub utilization: f64,
+    /// Number of placements executed.
+    pub placements: usize,
+}
+
+/// A dispatcher decides what to run next given the waiting jobs and the
+/// number of currently free GPUs.
+pub trait Dispatcher {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Choose the next placement, or `None` to stay idle until the next
+    /// event. `waiting` is sorted by arrival; every returned job id must
+    /// come from it. `now` is the simulation clock.
+    fn next_placement(
+        &mut self,
+        suite: &Suite,
+        waiting: &[ClusterJob],
+        free_gpus: usize,
+        now: f64,
+    ) -> Option<Placement>;
+}
+
+/// The simulator: runs a job trace through a dispatcher on `n_gpus`.
+#[derive(Debug)]
+pub struct ClusterSim {
+    n_gpus: usize,
+}
+
+impl ClusterSim {
+    /// A cluster with `n_gpus` identical GPUs.
+    #[must_use]
+    pub fn new(n_gpus: usize) -> Self {
+        assert!(n_gpus >= 1);
+        Self { n_gpus }
+    }
+
+    /// Run the trace to completion.
+    ///
+    /// # Panics
+    /// Panics if the dispatcher returns inconsistent placements (unknown
+    /// job ids or more GPUs than free).
+    pub fn run(
+        &self,
+        suite: &Suite,
+        mut jobs: Vec<ClusterJob>,
+        dispatcher: &mut dyn Dispatcher,
+    ) -> ClusterReport {
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        let total_jobs = jobs.len();
+        let mut clock = 0.0f64;
+        let mut free = self.n_gpus;
+        let mut waiting: Vec<ClusterJob> = Vec::new();
+        let mut arrivals = jobs.into_iter().peekable();
+        // (finish_time, gpus) of running placements.
+        let mut running: Vec<(f64, usize)> = Vec::new();
+        let mut busy_gpu_seconds = 0.0f64;
+        let mut wait_sum = 0.0f64;
+        let mut placements = 0usize;
+
+        loop {
+            // Absorb arrivals up to `clock`.
+            while let Some(j) = arrivals.peek() {
+                if j.arrival <= clock + 1e-12 {
+                    waiting.push(arrivals.next().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            // Start as much as the dispatcher wants.
+            while let Some(p) = dispatcher.next_placement(suite, &waiting, free, clock) {
+                assert!(p.gpus <= free, "dispatcher over-allocated");
+                assert!(!p.job_ids.is_empty());
+                for id in &p.job_ids {
+                    let pos = waiting
+                        .iter()
+                        .position(|j| j.id == *id)
+                        .expect("placement references waiting job");
+                    let job = waiting.remove(pos);
+                    wait_sum += clock - job.arrival;
+                }
+                free -= p.gpus;
+                busy_gpu_seconds += p.duration * p.gpus as f64;
+                running.push((clock + p.duration, p.gpus));
+                placements += 1;
+            }
+            // Advance to the next event.
+            let next_finish = running
+                .iter()
+                .map(|(t, _)| *t)
+                .fold(f64::INFINITY, f64::min);
+            let next_arrival = arrivals
+                .peek()
+                .map_or(f64::INFINITY, |j| j.arrival);
+            let next = next_finish.min(next_arrival);
+            if next.is_infinite() {
+                assert!(
+                    waiting.is_empty(),
+                    "deadlock: {} jobs waiting, dispatcher idle",
+                    waiting.len()
+                );
+                break;
+            }
+            clock = next;
+            // Release finished placements.
+            let mut still = Vec::with_capacity(running.len());
+            for (t, g) in running {
+                if t <= clock + 1e-12 {
+                    free += g;
+                } else {
+                    still.push((t, g));
+                }
+            }
+            running = still;
+        }
+
+        let makespan = clock;
+        ClusterReport {
+            makespan,
+            avg_wait: if total_jobs > 0 {
+                wait_sum / total_jobs as f64
+            } else {
+                0.0
+            },
+            utilization: if makespan > 0.0 {
+                busy_gpu_seconds / (makespan * self.n_gpus as f64)
+            } else {
+                0.0
+            },
+            placements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrp_gpusim::GpuArch;
+
+    /// Trivial dispatcher: one waiting job per free GPU, exclusively.
+    struct OneByOne;
+
+    impl Dispatcher for OneByOne {
+        fn name(&self) -> &'static str {
+            "one-by-one"
+        }
+
+        fn next_placement(
+            &mut self,
+            suite: &Suite,
+            waiting: &[ClusterJob],
+            free_gpus: usize,
+            _now: f64,
+        ) -> Option<Placement> {
+            let job = waiting.iter().find(|j| j.gpus <= free_gpus)?;
+            Some(Placement {
+                job_ids: vec![job.id],
+                gpus: job.gpus,
+                duration: job.solo_time(suite),
+            })
+        }
+    }
+
+    fn suite() -> Suite {
+        Suite::paper_suite(&GpuArch::a100())
+    }
+
+    #[test]
+    fn single_gpu_serialises_jobs() {
+        let s = suite();
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 0.0, 1, &s),
+            ClusterJob::new(1, "stream", 0.0, 1, &s),
+        ];
+        let report = ClusterSim::new(1).run(&s, jobs, &mut OneByOne);
+        assert!((report.makespan - 20.0).abs() < 1e-9);
+        assert!((report.avg_wait - 5.0).abs() < 1e-9, "{}", report.avg_wait);
+        assert!((report.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_gpus_run_in_parallel() {
+        let s = suite();
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 0.0, 1, &s),
+            ClusterJob::new(1, "stream", 0.0, 1, &s),
+        ];
+        let report = ClusterSim::new(2).run(&s, jobs, &mut OneByOne);
+        assert!((report.makespan - 10.0).abs() < 1e-9);
+        assert!(report.avg_wait.abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        let s = suite();
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 100.0, 1, &s), // arrives late
+        ];
+        let report = ClusterSim::new(1).run(&s, jobs, &mut OneByOne);
+        assert!((report.makespan - 110.0).abs() < 1e-9);
+        // Utilization counts idle waiting time.
+        assert!(report.utilization < 0.2);
+    }
+
+    #[test]
+    fn multi_gpu_job_takes_gang() {
+        let s = suite();
+        let jobs = vec![ClusterJob::new(0, "lavaMD", 0.0, 2, &s)];
+        let report = ClusterSim::new(2).run(&s, jobs, &mut OneByOne);
+        assert!((report.makespan - 19.0).abs() < 1e-9);
+        assert!((report.utilization - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,307 @@
+//! The action space: partition templates per concurrency.
+//!
+//! Table VI fixes the advantage head at **A = 29** outputs but the paper
+//! never prints the 29-entry list; we reconstruct it from the partition
+//! families of Table VII (documented in `DESIGN.md` §6):
+//!
+//! * 1 action — `C = 1`: run the next job exclusively;
+//! * 7 actions — `C = 2`: five MPS splits, MIG shared 3g+4g, MIG private;
+//! * 10 actions — `C = 3`: seven MPS splits, two hierarchical-private,
+//!   one hierarchical-shared;
+//! * 11 actions — `C = 4`: seven MPS splits, three hierarchical-private,
+//!   one hierarchical-shared.
+//!
+//! The *exhaustive baselines* use the full Table VII ranges
+//! ([`mps_only_space`], [`mig_mps_space`], [`mig_only_space`]) rather
+//! than the trimmed catalog.
+
+use hrp_gpusim::mps::enumerate_splits;
+use hrp_gpusim::PartitionScheme;
+
+/// The RL agent's discrete action catalog.
+#[derive(Debug, Clone)]
+pub struct ActionCatalog {
+    actions: Vec<PartitionScheme>,
+}
+
+impl ActionCatalog {
+    /// The reconstructed 29-entry catalog (see module docs).
+    #[must_use]
+    pub fn paper_29() -> Self {
+        let mut actions = Vec::with_capacity(29);
+        // C = 1.
+        actions.push(PartitionScheme::exclusive());
+        // C = 2: 5 MPS + 2 MIG.
+        for s in enumerate_splits(2, 0.1) {
+            actions.push(PartitionScheme::mps_only(s));
+        }
+        actions.push(PartitionScheme::mig_shared_3_4());
+        actions.push(PartitionScheme::mig_private_3_4());
+        // C = 3: 7 MPS + 2 hier-private + 1 hier-shared.
+        let mut three = enumerate_splits(3, 0.1);
+        // Keep 7 representative splits: drop (0.1,0.4,0.5) and (0.2,0.4,0.4)
+        // to stay within the 29-action budget.
+        three.retain(|s| {
+            s != &vec![0.1, 0.4, 0.5] && s != &vec![0.2, 0.4, 0.4]
+        });
+        for s in three {
+            actions.push(PartitionScheme::mps_only(s));
+        }
+        actions.push(PartitionScheme::hierarchical_3_4(vec![], vec![0.5, 0.5]));
+        actions.push(PartitionScheme::hierarchical_3_4(vec![], vec![0.3, 0.7]));
+        actions.push(PartitionScheme::hierarchical_shared_3_4(
+            vec![],
+            vec![0.5, 0.5],
+        ));
+        // C = 4: 7 MPS + 3 hier-private + 1 hier-shared.
+        let four = [
+            vec![0.1, 0.1, 0.1, 0.7],
+            vec![0.1, 0.1, 0.2, 0.6],
+            vec![0.1, 0.1, 0.3, 0.5],
+            vec![0.1, 0.2, 0.2, 0.5],
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.2, 0.2, 0.2, 0.4],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ];
+        for s in four {
+            actions.push(PartitionScheme::mps_only(s));
+        }
+        actions.push(PartitionScheme::hierarchical_3_4(
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+        ));
+        actions.push(PartitionScheme::hierarchical_3_4(
+            vec![0.5, 0.5],
+            vec![0.3, 0.7],
+        ));
+        actions.push(PartitionScheme::hierarchical_3_4(
+            vec![0.3, 0.7],
+            vec![0.3, 0.7],
+        ));
+        actions.push(PartitionScheme::hierarchical_shared_3_4(
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+        ));
+        debug_assert_eq!(actions.len(), 29);
+        Self { actions }
+    }
+
+    /// Number of actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The scheme of action `i`.
+    #[must_use]
+    pub fn scheme(&self, i: usize) -> &PartitionScheme {
+        &self.actions[i]
+    }
+
+    /// All schemes.
+    #[must_use]
+    pub fn schemes(&self) -> &[PartitionScheme] {
+        &self.actions
+    }
+
+    /// Concurrency (lanes) of action `i`.
+    #[must_use]
+    pub fn concurrency(&self, i: usize) -> usize {
+        self.actions[i].lanes()
+    }
+
+    /// Bitmask of actions valid when `pending` jobs remain and the
+    /// concurrency cap is `cmax`: an action needs `lanes ≤ min(pending,
+    /// cmax)` (every lane must be filled — partially-filled templates are
+    /// expressible as lower-C actions).
+    #[must_use]
+    pub fn valid_mask(&self, pending: usize, cmax: usize) -> u64 {
+        let cap = pending.min(cmax);
+        let mut mask = 0u64;
+        for (i, a) in self.actions.iter().enumerate() {
+            if a.lanes() <= cap && a.lanes() >= 1 {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+}
+
+impl Default for ActionCatalog {
+    fn default() -> Self {
+        Self::paper_29()
+    }
+}
+
+/// Table VII, `MPS Only` column: all k-way MPS splits in 0.1 steps.
+#[must_use]
+pub fn mps_only_space(c: usize) -> Vec<PartitionScheme> {
+    enumerate_splits(c, 0.1)
+        .into_iter()
+        .map(PartitionScheme::mps_only)
+        .collect()
+}
+
+/// The `MIG Only (C = 2)` options (paper Fig. 2 options 2 and 3).
+#[must_use]
+pub fn mig_only_space() -> Vec<PartitionScheme> {
+    vec![
+        PartitionScheme::mig_shared_3_4(),
+        PartitionScheme::mig_private_3_4(),
+    ]
+}
+
+/// Table VII, `MPS+MIG w/ RL` column: the full search space per
+/// concurrency — MPS splits plus every hierarchical 3g/4g variant with
+/// MPS inside the instances.
+#[must_use]
+pub fn mig_mps_space(c: usize) -> Vec<PartitionScheme> {
+    let mut out = mps_only_space(c);
+    match c {
+        2 => {
+            out.push(PartitionScheme::mig_shared_3_4());
+            out.push(PartitionScheme::mig_private_3_4());
+        }
+        3 => {
+            for s in enumerate_splits(2, 0.1) {
+                // One job on 3g, two MPS clients on 4g — and mirrored.
+                out.push(PartitionScheme::hierarchical_3_4(vec![], s.clone()));
+                out.push(PartitionScheme::hierarchical_3_4(s.clone(), vec![]));
+                out.push(PartitionScheme::hierarchical_shared_3_4(vec![], s.clone()));
+                out.push(PartitionScheme::hierarchical_shared_3_4(s, vec![]));
+            }
+        }
+        4 => {
+            for s3 in enumerate_splits(2, 0.1) {
+                for s4 in enumerate_splits(2, 0.1) {
+                    out.push(PartitionScheme::hierarchical_3_4(s3.clone(), s4.clone()));
+                    out.push(PartitionScheme::hierarchical_shared_3_4(
+                        s3.clone(),
+                        s4.clone(),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// `N_C`: the number of available setups for concurrency `C` — used by
+/// the paper's offline-training-cost estimate (§V-B):
+/// `Σ_{C=2}^{Cmax} C(W, C) · C! · N_C`.
+#[must_use]
+pub fn space_size(c: usize) -> usize {
+    mig_mps_space(c).len()
+}
+
+/// The paper's upper bound on distinct (job selection, assignment,
+/// partition) triples explored during offline training.
+#[must_use]
+pub fn training_search_space(w: usize, cmax: usize) -> f64 {
+    let mut total = 0.0f64;
+    for c in 2..=cmax {
+        let mut comb = 1.0f64; // C(w, c)
+        for i in 0..c {
+            comb = comb * (w - i) as f64 / (i + 1) as f64;
+        }
+        let fact: f64 = (1..=c).map(|x| x as f64).product();
+        total += comb * fact * space_size(c) as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_exactly_29_actions() {
+        let cat = ActionCatalog::paper_29();
+        assert_eq!(cat.len(), 29);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn concurrency_histogram_matches_design() {
+        let cat = ActionCatalog::paper_29();
+        let mut hist = [0usize; 5];
+        for i in 0..cat.len() {
+            hist[cat.concurrency(i)] += 1;
+        }
+        assert_eq!(hist[1], 1, "one C=1 action");
+        assert_eq!(hist[2], 7, "seven C=2 actions");
+        assert_eq!(hist[3], 10, "ten C=3 actions");
+        assert_eq!(hist[4], 11, "eleven C=4 actions");
+    }
+
+    #[test]
+    fn all_actions_compile() {
+        let arch = hrp_gpusim::GpuArch::a100();
+        let cat = ActionCatalog::paper_29();
+        for (i, s) in cat.schemes().iter().enumerate() {
+            let compiled = s.compile(&arch).unwrap_or_else(|e| panic!("action {i}: {e}"));
+            assert_eq!(compiled.slots.len(), cat.concurrency(i));
+        }
+    }
+
+    #[test]
+    fn valid_mask_tracks_pending_and_cmax() {
+        let cat = ActionCatalog::paper_29();
+        // One pending job: only the C=1 action.
+        let m1 = cat.valid_mask(1, 4);
+        assert_eq!(m1.count_ones(), 1);
+        assert_eq!(m1 & 1, 1);
+        // Two pending: C ≤ 2 → 8 actions.
+        assert_eq!(cat.valid_mask(2, 4).count_ones(), 8);
+        // Plenty pending but Cmax = 2 → same 8.
+        assert_eq!(cat.valid_mask(12, 2).count_ones(), 8);
+        // Everything open.
+        assert_eq!(cat.valid_mask(12, 4).count_ones(), 29);
+        // Cmax = 3 → 18.
+        assert_eq!(cat.valid_mask(12, 3).count_ones(), 18);
+    }
+
+    #[test]
+    fn table7_mps_space_sizes() {
+        assert_eq!(mps_only_space(2).len(), 5);
+        assert_eq!(mps_only_space(3).len(), 9);
+        assert_eq!(mps_only_space(4).len(), 10);
+    }
+
+    #[test]
+    fn mig_only_space_is_the_two_fig2_options() {
+        let space = mig_only_space();
+        assert_eq!(space.len(), 2);
+        assert!(space.iter().all(|s| s.uses_mig()));
+        assert!(space.iter().all(|s| s.lanes() == 2));
+    }
+
+    #[test]
+    fn mig_mps_space_grows_with_c() {
+        let arch = hrp_gpusim::GpuArch::a100();
+        for c in 2..=4 {
+            let space = mig_mps_space(c);
+            assert!(space.len() > mps_only_space(c).len());
+            for s in &space {
+                assert_eq!(s.lanes(), c, "{s}");
+                s.compile(&arch).unwrap();
+            }
+        }
+        // C=4: 10 MPS + 25 hier-private + 25 hier-shared.
+        assert_eq!(mig_mps_space(4).len(), 60);
+    }
+
+    #[test]
+    fn training_search_space_matches_paper_magnitude() {
+        // §V-B: for W = 12, Cmax = 4 the bound is "of the order of 1e5".
+        let n = training_search_space(12, 4);
+        assert!(n > 1e5 && n < 2e6, "search space {n}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # hrp-core — RL-based co-scheduling and hierarchical GPU partitioning
+//!
+//! This crate implements the paper's primary contribution (§IV): given a
+//! window of `W` queued jobs and a concurrency cap `Cmax`, jointly choose
+//!
+//! 1. the **co-scheduling groups** `LJS = {JS1, JS2, …}` (a partition of
+//!    the window), and
+//! 2. per group the **hierarchical resource partitioning** `Ri`
+//!    (MIG GPU-instances → compute instances → MPS shares),
+//!
+//! minimising total co-run time subject to the constraints of §IV-A
+//! (each group must beat time sharing; `|JSi| ≤ Cmax`; groups are
+//! mutually exclusive and collectively exhaustive).
+//!
+//! The solution mirrors the paper's architecture (Fig. 7):
+//!
+//! * [`env`] — the RL environment: window state encoding `W × (f + 5)`,
+//!   a 29-entry action catalog ([`actions`]), and the two-part reward of
+//!   Table VI ([`reward`]);
+//! * [`train`] — offline training of a dueling double DQN over randomly
+//!   generated job queues;
+//! * [`policies`] — the five compared methods of §V-A4: `TimeSharing`,
+//!   `MigOnly (C=2)`, `MpsOnly`, `MigMpsDefault`, and `MigMpsRl`;
+//! * [`exhaustive`] — the set-partition dynamic program used to give the
+//!   baselines their *optimal* job-set selections (the paper searches
+//!   those exhaustively);
+//! * [`metrics`] — throughput vs time sharing, per-application slowdown
+//!   (Fig. 11) and fairness (Fig. 12);
+//! * [`online`] — the online phase of Fig. 7: profile-miss handling and
+//!   window-by-window scheduling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod actions;
+pub mod env;
+pub mod exhaustive;
+pub mod metrics;
+pub mod online;
+pub mod policies;
+pub mod predict;
+pub mod problem;
+pub mod reward;
+pub mod train;
+
+pub use actions::ActionCatalog;
+pub use env::{CoScheduleEnv, EnvConfig};
+pub use metrics::QueueMetrics;
+pub use policies::{
+    MigMpsDefault, MigMpsRl, MigOnly, MpsOnly, Policy, ScheduleContext, TimeSharing,
+};
+pub use problem::{ScheduleDecision, ScheduledGroup};
+pub use train::{train, TrainConfig, TrainedAgent};

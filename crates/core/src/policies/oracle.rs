@@ -1,0 +1,106 @@
+//! Oracle-greedy reference policy.
+//!
+//! At each step this policy *measures* every valid action (it peeks at
+//! the simulator outcome under the same r_i job binding the RL agent
+//! uses) and takes the one saving the most time versus running the bound
+//! jobs solo. It is not part of the paper's comparison — on real
+//! hardware one cannot try every partitioning before launching — but it
+//! bounds what the DQN can achieve *given the binding rule*, separating
+//! "the agent didn't learn" from "the formulation can't express better".
+
+use super::{Policy, ScheduleContext};
+use crate::actions::ActionCatalog;
+use crate::env::{CoScheduleEnv, EnvConfig};
+use crate::problem::ScheduleDecision;
+use hrp_profile::{FeatureScaler, Profiler, ProfileRepository};
+
+/// The oracle-greedy policy (upper reference for `MigMpsRl`).
+pub struct OracleGreedy {
+    repo: ProfileRepository,
+    scaler: FeatureScaler,
+    catalog: ActionCatalog,
+    cmax_default: usize,
+}
+
+impl OracleGreedy {
+    /// Build for a suite (profiles collected with mild noise, like the
+    /// training pipeline).
+    #[must_use]
+    pub fn new(suite: &hrp_workloads::Suite) -> Self {
+        let profiler = Profiler::new(suite.arch().clone(), 0.03, 17);
+        let repo = ProfileRepository::for_suite(suite, &profiler);
+        let scaler = FeatureScaler::fit(&repo);
+        Self {
+            repo,
+            scaler,
+            catalog: ActionCatalog::paper_29(),
+            cmax_default: 4,
+        }
+    }
+}
+
+impl Policy for OracleGreedy {
+    fn name(&self) -> &'static str {
+        "Oracle Greedy"
+    }
+
+    fn schedule(&self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {
+        let cfg = EnvConfig {
+            w: ctx.queue.len().max(self.cmax_default),
+            cmax: ctx.cmax,
+            engine: ctx.engine.clone(),
+            ..EnvConfig::paper()
+        };
+        let mut env = CoScheduleEnv::new(
+            ctx.suite,
+            ctx.queue,
+            &self.repo,
+            &self.scaler,
+            &self.catalog,
+            cfg,
+        );
+        while !env.done() {
+            let mask = env.valid_mask();
+            // Choose the action saving the most time over solo execution
+            // of the same bound jobs.
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for a in 0..self.catalog.len() {
+                if mask & (1 << a) == 0 {
+                    continue;
+                }
+                let (_, corun, solo) = env.peek_action(a);
+                let saved = solo - corun;
+                if saved > best.1 {
+                    best = (a, saved);
+                }
+            }
+            env.step(best.0);
+        }
+        env.into_decision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::small_fixture;
+    use super::*;
+    use crate::metrics::evaluate_decision;
+    use crate::policies::TimeSharing;
+
+    #[test]
+    fn oracle_beats_time_sharing_comfortably() {
+        let (suite, queue) = small_fixture();
+        let oracle = OracleGreedy::new(&suite);
+        let ctx = ScheduleContext::new(&suite, &queue, 4);
+        let d = oracle.schedule(&ctx);
+        d.validate(&queue, 4, false).unwrap();
+        let m = evaluate_decision("oracle", &suite, &queue, &d);
+        let ts = evaluate_decision("ts", &suite, &queue, &TimeSharing.schedule(&ctx));
+        assert!(
+            m.throughput > ts.throughput * 1.1,
+            "oracle {} barely beats TS {}",
+            m.throughput,
+            ts.throughput
+        );
+    }
+}

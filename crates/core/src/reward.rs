@@ -1,0 +1,159 @@
+//! The two-part reward of the paper's Table VI.
+//!
+//! * The **intermediate reward** `r_i` scores one job's resource
+//!   allocation *before launching*, from its profile:
+//!
+//!   ```text
+//!   r_i = (SmAllocRatio · ComputeRatio + MemoryAllocRatio · MemoryRatio)
+//!         · DurationRatio²
+//!   ```
+//!
+//!   where `SmAllocRatio`/`MemoryAllocRatio` are the hardware fractions
+//!   granted to the job and `ComputeRatio`/`MemoryRatio`/`DurationRatio`
+//!   are the job's profile counters relative to the window mean. The
+//!   squared duration ratio prioritises long jobs — misallocating a long
+//!   job costs more.
+//!
+//! * The **final reward** `r_f` is the measured throughput gain over time
+//!   sharing, available only after the group completes:
+//!
+//!   ```text
+//!   r_f = (SoloRunTime / CoRunTime − 1) × 100
+//!   ```
+
+use hrp_profile::JobProfile;
+
+/// Window-mean statistics the ratios are computed against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Mean `Compute (SM) [%]` across the window.
+    pub mean_compute_pct: f64,
+    /// Mean `Memory [%]` across the window.
+    pub mean_memory_pct: f64,
+    /// Mean solo runtime (seconds) across the window.
+    pub mean_solo_time: f64,
+}
+
+impl WindowStats {
+    /// Compute window statistics from the profiles of all window jobs.
+    #[must_use]
+    pub fn from_profiles<'a>(profiles: impl IntoIterator<Item = &'a JobProfile>) -> Self {
+        let mut n = 0usize;
+        let (mut sm, mut mem, mut dur) = (0.0, 0.0, 0.0);
+        for p in profiles {
+            n += 1;
+            sm += p.compute_pct();
+            mem += p.memory_pct();
+            dur += p.solo_time;
+        }
+        assert!(n > 0, "window statistics need at least one profile");
+        let n = n as f64;
+        Self {
+            mean_compute_pct: (sm / n).max(1e-9),
+            mean_memory_pct: (mem / n).max(1e-9),
+            mean_solo_time: (dur / n).max(1e-9),
+        }
+    }
+}
+
+/// The intermediate reward `r_i` for placing `profile` on a slot granting
+/// `sm_alloc` of the GPU's SMs within a memory domain granting
+/// `mem_alloc` of its bandwidth.
+#[must_use]
+pub fn intermediate_reward(
+    profile: &JobProfile,
+    stats: &WindowStats,
+    sm_alloc: f64,
+    mem_alloc: f64,
+) -> f64 {
+    let compute_ratio = profile.compute_pct() / stats.mean_compute_pct;
+    let memory_ratio = profile.memory_pct() / stats.mean_memory_pct;
+    let duration_ratio = profile.solo_time / stats.mean_solo_time;
+    (sm_alloc * compute_ratio + mem_alloc * memory_ratio) * duration_ratio * duration_ratio
+}
+
+/// The final reward `r_f` from measured solo and co-run times.
+#[must_use]
+pub fn final_reward(solo_run_time: f64, co_run_time: f64) -> f64 {
+    assert!(co_run_time > 0.0, "co-run time must be positive");
+    (solo_run_time / co_run_time - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrp_gpusim::arch::GpuArch;
+    use hrp_gpusim::AppModel;
+    use hrp_profile::Profiler;
+
+    fn profile(sm: f64, mem: f64, t: f64) -> JobProfile {
+        let app = AppModel::builder("x")
+            .utilisation(sm, mem)
+            .solo_time(t)
+            .build();
+        Profiler::exact(GpuArch::a100()).profile(&app)
+    }
+
+    #[test]
+    fn window_stats_average() {
+        let a = profile(80.0, 20.0, 10.0);
+        let b = profile(40.0, 60.0, 30.0);
+        let s = WindowStats::from_profiles([&a, &b]);
+        assert!((s.mean_compute_pct - 60.0).abs() < 1e-9);
+        assert!((s.mean_memory_pct - 40.0).abs() < 1e-9);
+        assert!((s.mean_solo_time - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_hungry_job_prefers_sm_allocation() {
+        // For a compute-heavy job, granting SMs must raise r_i faster
+        // than granting bandwidth.
+        let job = profile(90.0, 10.0, 20.0);
+        let stats = WindowStats {
+            mean_compute_pct: 50.0,
+            mean_memory_pct: 50.0,
+            mean_solo_time: 20.0,
+        };
+        let more_sm = intermediate_reward(&job, &stats, 0.8, 0.2);
+        let more_mem = intermediate_reward(&job, &stats, 0.2, 0.8);
+        assert!(more_sm > more_mem);
+    }
+
+    #[test]
+    fn memory_hungry_job_prefers_bandwidth() {
+        let job = profile(15.0, 90.0, 20.0);
+        let stats = WindowStats {
+            mean_compute_pct: 50.0,
+            mean_memory_pct: 50.0,
+            mean_solo_time: 20.0,
+        };
+        let more_sm = intermediate_reward(&job, &stats, 0.8, 0.2);
+        let more_mem = intermediate_reward(&job, &stats, 0.2, 0.8);
+        assert!(more_mem > more_sm);
+    }
+
+    #[test]
+    fn duration_ratio_is_squared() {
+        let stats = WindowStats {
+            mean_compute_pct: 50.0,
+            mean_memory_pct: 50.0,
+            mean_solo_time: 10.0,
+        };
+        let short = profile(50.0, 50.0, 10.0);
+        let long = profile(50.0, 50.0, 30.0);
+        let r_short = intermediate_reward(&short, &stats, 0.5, 0.5);
+        let r_long = intermediate_reward(&long, &stats, 0.5, 0.5);
+        // Same utilisation: ratio of rewards = (30/10)² = 9.
+        assert!((r_long / r_short - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn final_reward_matches_definition() {
+        // Throughput ×1.5 → +50.
+        assert!((final_reward(30.0, 20.0) - 50.0).abs() < 1e-9);
+        // Co-run as slow as time sharing → 0.
+        assert!(final_reward(20.0, 20.0).abs() < 1e-9);
+        // Worse than time sharing → negative.
+        assert!(final_reward(20.0, 25.0) < 0.0);
+    }
+}

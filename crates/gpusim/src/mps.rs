@@ -1,0 +1,170 @@
+//! MPS (Multi-Process Service) share validation helpers.
+//!
+//! MPS partitions compute *logically*: each client process is capped at an
+//! "active thread percentage" of the SMs visible to it (the whole GPU, or
+//! the compute instance it runs in). Unlike MIG, MPS offers **no memory
+//! QoS** — clients in the same memory domain contend freely (paper
+//! §III-A). The paper's MPS splits are decimal fractions in steps of 0.1
+//! (Table VII), which these helpers generate and validate.
+
+use crate::error::PartitionError;
+
+/// Tolerance for share sums (MPS percentages are configured as integers on
+/// real hardware; we allow fractional dust from e.g. 0.34+0.33+0.33).
+pub const SHARE_EPS: f64 = 1e-6;
+
+/// Validate a list of MPS shares: each in `(0, 1]`, sum ≤ 1 (+eps).
+pub fn validate_shares(shares: &[f64]) -> Result<(), PartitionError> {
+    if shares.is_empty() {
+        return Err(PartitionError::NoClients);
+    }
+    let mut sum = 0.0;
+    for &s in shares {
+        if !(s > 0.0 && s <= 1.0 + SHARE_EPS) {
+            return Err(PartitionError::ShareOutOfRange(s));
+        }
+        sum += s;
+    }
+    if sum > 1.0 + 1e-3 {
+        return Err(PartitionError::SharesExceedUnity(sum));
+    }
+    Ok(())
+}
+
+/// The *default* MPS mode: no active-thread-percentage caps. We model it
+/// as an equal split among the `n` clients (each client can issue work to
+/// any SM; with saturating kernels the hardware time-slices approximately
+/// fairly).
+#[must_use]
+pub fn default_mode_shares(n: usize) -> Vec<f64> {
+    assert!(n > 0, "default_mode_shares(0)");
+    vec![1.0 / n as f64; n]
+}
+
+/// Enumerate all non-decreasing `k`-way splits of 1.0 in steps of `step`
+/// (e.g. `k = 2, step = 0.1` → `(0.1,0.9) … (0.5,0.5)`), matching the "…"
+/// ranges of the paper's Table VII. The exact equal split is appended when
+/// not representable in `step` (the paper writes `0.34/0.33/0.33`).
+#[must_use]
+pub fn enumerate_splits(k: usize, step: f64) -> Vec<Vec<f64>> {
+    assert!(k >= 1);
+    let units = (1.0 / step).round() as u32;
+    let mut out: Vec<Vec<f64>> = Vec::new();
+    let mut parts = vec![0u32; k];
+
+    fn rec(k: usize, min: u32, left: u32, parts: &mut [u32], idx: usize, out: &mut Vec<Vec<u32>>) {
+        if idx == k - 1 {
+            if left >= min {
+                parts[idx] = left;
+                out.push(parts.to_vec());
+            }
+            return;
+        }
+        // parts are non-decreasing; each at least `min`, leaving enough
+        // for the remaining slots.
+        let remaining_slots = (k - idx - 1) as u32;
+        let mut v = min;
+        while v * (remaining_slots + 1) <= left {
+            parts[idx] = v;
+            rec(k, v, left - v, parts, idx + 1, out);
+            v += 1;
+        }
+    }
+
+    let mut raw: Vec<Vec<u32>> = Vec::new();
+    rec(k, 1, units, &mut parts, 0, &mut raw);
+    for r in raw {
+        // Divide by the unit count (rather than multiplying by `step`) so
+        // lattice points come out exactly: 7/10 == 0.7, not 0.7000…01.
+        out.push(r.iter().map(|&u| f64::from(u) / f64::from(units)).collect());
+    }
+    // Exact equal split, if not already present (k does not divide units).
+    if !units.is_multiple_of(k as u32) {
+        let eq = 1.0 / k as f64;
+        out.push(vec![eq; k]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_shares_accepted() {
+        validate_shares(&[0.5, 0.5]).unwrap();
+        validate_shares(&[1.0]).unwrap();
+        validate_shares(&[0.34, 0.33, 0.33]).unwrap();
+    }
+
+    #[test]
+    fn bad_shares_rejected() {
+        assert_eq!(validate_shares(&[]), Err(PartitionError::NoClients));
+        assert!(matches!(
+            validate_shares(&[0.0, 1.0]),
+            Err(PartitionError::ShareOutOfRange(_))
+        ));
+        assert!(matches!(
+            validate_shares(&[-0.1]),
+            Err(PartitionError::ShareOutOfRange(_))
+        ));
+        assert!(matches!(
+            validate_shares(&[0.7, 0.7]),
+            Err(PartitionError::SharesExceedUnity(_))
+        ));
+    }
+
+    #[test]
+    fn default_mode_is_equal_split() {
+        assert_eq!(default_mode_shares(2), vec![0.5, 0.5]);
+        let four = default_mode_shares(4);
+        assert_eq!(four.len(), 4);
+        assert!((four.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_way_splits_match_table7() {
+        let splits = enumerate_splits(2, 0.1);
+        // (0.1,0.9) (0.2,0.8) (0.3,0.7) (0.4,0.6) (0.5,0.5)
+        assert_eq!(splits.len(), 5);
+        assert_eq!(splits[0], vec![0.1, 0.9]);
+        assert_eq!(splits[4], vec![0.5, 0.5]);
+        for s in &splits {
+            assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            validate_shares(s).unwrap();
+        }
+    }
+
+    #[test]
+    fn three_way_splits_include_near_equal() {
+        let splits = enumerate_splits(3, 0.1);
+        // 8 lattice splits + the exact 1/3 split appended.
+        assert_eq!(splits.len(), 9);
+        assert_eq!(splits[0], vec![0.1, 0.1, 0.8]);
+        let last = splits.last().unwrap();
+        assert!((last[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_way_splits_cover_quarter() {
+        let splits = enumerate_splits(4, 0.1);
+        assert!(splits
+            .iter()
+            .any(|s| s.iter().all(|&x| (x - 0.25).abs() < 1e-9)));
+        assert_eq!(splits[0], vec![0.1, 0.1, 0.1, 0.7]);
+        for s in &splits {
+            validate_shares(s).unwrap();
+        }
+    }
+
+    #[test]
+    fn splits_are_sorted_nondecreasing() {
+        for k in 2..=4 {
+            for s in enumerate_splits(k, 0.1) {
+                for w in s.windows(2) {
+                    assert!(w[0] <= w[1] + 1e-12);
+                }
+            }
+        }
+    }
+}

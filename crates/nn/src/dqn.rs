@@ -1,0 +1,386 @@
+//! The DQN agent: ε-greedy behaviour policy, double-DQN targets, Huber
+//! loss, and periodic target-network synchronisation — the configuration
+//! of the paper's §IV-D / Table VI.
+
+use crate::net::{Head, QNet};
+use crate::opt::Adam;
+use crate::replay::{ReplayBuffer, Transition};
+use crate::tensor::masked_argmax;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Agent hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DqnConfig {
+    /// State vector length.
+    pub state_dim: usize,
+    /// Number of actions (paper: 29).
+    pub n_actions: usize,
+    /// Hidden-layer widths (paper: 512/256/128).
+    pub hidden: Vec<usize>,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Mini-batch size per learning step.
+    pub batch_size: usize,
+    /// Sync the target network every this many learning steps.
+    pub target_sync_every: u64,
+    /// Replay-buffer capacity.
+    pub buffer_capacity: usize,
+    /// Huber loss transition point.
+    pub huber_delta: f32,
+    /// Use the double-DQN target (van Hasselt et al.). Off = vanilla DQN.
+    pub double: bool,
+    /// Head architecture (paper: dueling).
+    pub head: Head,
+    /// RNG seed (weights, ε-greedy, replay sampling).
+    pub seed: u64,
+}
+
+impl DqnConfig {
+    /// The paper's configuration for a given state/action space.
+    #[must_use]
+    pub fn paper(state_dim: usize, n_actions: usize) -> Self {
+        Self {
+            state_dim,
+            n_actions,
+            hidden: vec![512, 256, 128],
+            gamma: 0.95,
+            lr: 5e-4,
+            batch_size: 32,
+            target_sync_every: 200,
+            buffer_capacity: 20_000,
+            huber_delta: 1.0,
+            double: true,
+            head: Head::Dueling,
+            seed: 42,
+        }
+    }
+}
+
+/// A dueling double-DQN agent.
+pub struct DqnAgent {
+    cfg: DqnConfig,
+    online: QNet,
+    target: QNet,
+    adam: Adam,
+    buffer: ReplayBuffer,
+    rng: SmallRng,
+    learn_steps: u64,
+    grad_buf: Vec<f32>,
+    delta_buf: Vec<f32>,
+}
+
+impl DqnAgent {
+    /// Build an agent (target starts as a copy of the online network).
+    #[must_use]
+    pub fn new(cfg: DqnConfig) -> Self {
+        let online = QNet::new(
+            cfg.state_dim,
+            &cfg.hidden,
+            cfg.n_actions,
+            cfg.head,
+            cfg.seed,
+        );
+        let mut target = QNet::new(
+            cfg.state_dim,
+            &cfg.hidden,
+            cfg.n_actions,
+            cfg.head,
+            cfg.seed.wrapping_add(1),
+        );
+        target.copy_weights_from(&online);
+        let adam = Adam::new(online.num_params(), cfg.lr);
+        let buffer = ReplayBuffer::new(cfg.buffer_capacity);
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed);
+        Self {
+            cfg,
+            online,
+            target,
+            adam,
+            buffer,
+            rng,
+            learn_steps: 0,
+            grad_buf: Vec::new(),
+            delta_buf: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DqnConfig {
+        &self.cfg
+    }
+
+    /// Q-values of the online network for a state (inference).
+    #[must_use]
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        self.online.predict(state)
+    }
+
+    /// ε-greedy action among the `mask`'s valid bits.
+    ///
+    /// # Panics
+    /// Panics if the mask has no valid action.
+    pub fn select_action(&mut self, state: &[f32], mask: u64, epsilon: f64) -> usize {
+        assert!(mask != 0, "no valid action");
+        if self.rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+            let valid: Vec<usize> = (0..self.cfg.n_actions)
+                .filter(|&a| mask & (1 << a) != 0)
+                .collect();
+            valid[self.rng.gen_range(0..valid.len())]
+        } else {
+            let q = self.online.predict(state);
+            masked_argmax(&q, |a| mask & (1 << a) != 0).expect("mask checked non-empty")
+        }
+    }
+
+    /// Greedy (ε = 0) action — the online-phase policy.
+    #[must_use]
+    pub fn greedy_action(&self, state: &[f32], mask: u64) -> usize {
+        let q = self.online.predict(state);
+        masked_argmax(&q, |a| mask & (1 << a) != 0).expect("no valid action")
+    }
+
+    /// Store a transition.
+    pub fn remember(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.cfg.state_dim);
+        self.buffer.push(t);
+    }
+
+    /// Transitions currently stored.
+    #[must_use]
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// One learning step (a mini-batch of SGD on the TD error). Returns
+    /// the mean Huber loss, or `None` when the buffer is still smaller
+    /// than the batch size.
+    pub fn learn(&mut self) -> Option<f32> {
+        if self.buffer.len() < self.cfg.batch_size {
+            return None;
+        }
+        // Compute targets first (immutable borrows), then backprop.
+        let batch: Vec<Transition> = self
+            .buffer
+            .sample(self.cfg.batch_size, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut targets = Vec::with_capacity(batch.len());
+        for t in &batch {
+            let y = if t.done {
+                t.reward
+            } else {
+                let bootstrap = if self.cfg.double {
+                    // Double DQN: online net picks, target net evaluates.
+                    let q_online = self.online.predict(&t.next_state);
+                    let a_star = masked_argmax(&q_online, |a| t.next_mask & (1 << a) != 0)
+                        .unwrap_or(0);
+                    self.target.predict(&t.next_state)[a_star]
+                } else {
+                    let q_t = self.target.predict(&t.next_state);
+                    masked_argmax(&q_t, |a| t.next_mask & (1 << a) != 0)
+                        .map_or(0.0, |a| q_t[a])
+                };
+                t.reward + self.cfg.gamma * bootstrap
+            };
+            targets.push(y);
+        }
+
+        self.online.zero_grad();
+        let mut total_loss = 0.0f32;
+        let inv_n = 1.0 / batch.len() as f32;
+        for (t, &y) in batch.iter().zip(targets.iter()) {
+            let q = self.online.forward(&t.state);
+            let err = q[t.action] - y;
+            let delta = self.cfg.huber_delta;
+            let (loss, dloss) = if err.abs() <= delta {
+                (0.5 * err * err, err)
+            } else {
+                (delta * (err.abs() - 0.5 * delta), delta * err.signum())
+            };
+            total_loss += loss;
+            let mut dq = vec![0.0f32; self.cfg.n_actions];
+            dq[t.action] = dloss * inv_n;
+            self.online.backward(&dq);
+        }
+
+        self.online.write_grads(&mut self.grad_buf);
+        self.adam.step(&self.grad_buf, &mut self.delta_buf);
+        self.online.apply_delta(&self.delta_buf);
+
+        self.learn_steps += 1;
+        if self.learn_steps.is_multiple_of(self.cfg.target_sync_every) {
+            self.target.copy_weights_from(&self.online);
+        }
+        Some(total_loss * inv_n)
+    }
+
+    /// Learning steps taken.
+    #[must_use]
+    pub fn learn_steps(&self) -> u64 {
+        self.learn_steps
+    }
+
+    /// Direct access to the online network (serialization, inspection).
+    #[must_use]
+    pub fn online_net(&self) -> &QNet {
+        &self.online
+    }
+
+    /// Replace the online and target weights (e.g. from a snapshot).
+    pub fn load_weights(&mut self, params: &[f32]) {
+        self.online.read_params(params);
+        self.target.read_params(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-step deterministic MDP:
+    /// state [1,0]: action 1 pays 1.0 and moves to state [0,1];
+    /// state [0,1]: action 0 pays 2.0 and ends. All other actions pay 0
+    /// (and end). The optimal Q([1,0], 1) = 1 + γ·2.
+    fn chain_cfg() -> DqnConfig {
+        DqnConfig {
+            state_dim: 2,
+            n_actions: 2,
+            hidden: vec![16, 16],
+            gamma: 0.9,
+            lr: 5e-3,
+            batch_size: 16,
+            target_sync_every: 25,
+            buffer_capacity: 2000,
+            huber_delta: 1.0,
+            double: true,
+            head: Head::Dueling,
+            seed: 3,
+        }
+    }
+
+    fn run_chain(mut agent: DqnAgent, episodes: usize) -> DqnAgent {
+        let s0 = vec![1.0f32, 0.0];
+        let s1 = vec![0.0f32, 1.0];
+        for ep in 0..episodes {
+            let eps = (1.0 - ep as f64 / 150.0).max(0.05);
+            let a0 = agent.select_action(&s0, 0b11, eps);
+            if a0 == 1 {
+                agent.remember(Transition {
+                    state: s0.clone(),
+                    action: 1,
+                    reward: 1.0,
+                    next_state: s1.clone(),
+                    done: false,
+                    next_mask: 0b11,
+                });
+                let a1 = agent.select_action(&s1, 0b11, eps);
+                agent.remember(Transition {
+                    state: s1.clone(),
+                    action: a1,
+                    reward: if a1 == 0 { 2.0 } else { 0.0 },
+                    next_state: vec![0.0, 0.0],
+                    done: true,
+                    next_mask: 0,
+                });
+            } else {
+                agent.remember(Transition {
+                    state: s0.clone(),
+                    action: 0,
+                    reward: 0.0,
+                    next_state: vec![0.0, 0.0],
+                    done: true,
+                    next_mask: 0,
+                });
+            }
+            for _ in 0..4 {
+                agent.learn();
+            }
+        }
+        agent
+    }
+
+    #[test]
+    fn learns_two_step_chain() {
+        let agent = run_chain(DqnAgent::new(chain_cfg()), 300);
+        let s0 = [1.0f32, 0.0];
+        let s1 = [0.0f32, 1.0];
+        assert_eq!(agent.greedy_action(&s0, 0b11), 1, "q={:?}", agent.q_values(&s0));
+        assert_eq!(agent.greedy_action(&s1, 0b11), 0, "q={:?}", agent.q_values(&s1));
+        // Q(s0, right) ≈ 1 + 0.9·2 = 2.8.
+        let q = agent.q_values(&s0);
+        assert!((q[1] - 2.8).abs() < 0.6, "Q(s0,1) = {}", q[1]);
+    }
+
+    #[test]
+    fn plain_head_also_learns() {
+        let mut cfg = chain_cfg();
+        cfg.head = Head::Plain;
+        cfg.double = false;
+        let agent = run_chain(DqnAgent::new(cfg), 300);
+        assert_eq!(agent.greedy_action(&[1.0, 0.0], 0b11), 1);
+    }
+
+    #[test]
+    fn action_masking_is_respected() {
+        let mut agent = DqnAgent::new(chain_cfg());
+        // Only action 0 allowed — even with ε = 1 (pure random).
+        for _ in 0..50 {
+            assert_eq!(agent.select_action(&[1.0, 0.0], 0b01, 1.0), 0);
+        }
+        assert_eq!(agent.greedy_action(&[1.0, 0.0], 0b01), 0);
+    }
+
+    #[test]
+    fn learn_requires_full_batch() {
+        let mut agent = DqnAgent::new(chain_cfg());
+        assert_eq!(agent.learn(), None);
+        for _ in 0..16 {
+            agent.remember(Transition {
+                state: vec![1.0, 0.0],
+                action: 0,
+                reward: 1.0,
+                next_state: vec![0.0, 0.0],
+                done: true,
+                next_mask: 0,
+            });
+        }
+        assert!(agent.learn().is_some());
+        assert_eq!(agent.learn_steps(), 1);
+    }
+
+    #[test]
+    fn loss_decreases_on_stationary_target() {
+        let mut agent = DqnAgent::new(chain_cfg());
+        for _ in 0..64 {
+            agent.remember(Transition {
+                state: vec![1.0, 0.0],
+                action: 0,
+                reward: 5.0,
+                next_state: vec![0.0, 0.0],
+                done: true,
+                next_mask: 0,
+            });
+        }
+        let first = agent.learn().unwrap();
+        let mut last = first;
+        for _ in 0..200 {
+            last = agent.learn().unwrap();
+        }
+        assert!(
+            last < first * 0.5,
+            "loss should drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run_chain(DqnAgent::new(chain_cfg()), 50);
+        let b = run_chain(DqnAgent::new(chain_cfg()), 50);
+        assert_eq!(a.q_values(&[1.0, 0.0]), b.q_values(&[1.0, 0.0]));
+    }
+}

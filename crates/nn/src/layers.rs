@@ -1,0 +1,233 @@
+//! Layers with exact backpropagation: fully-connected (`Linear`) and
+//! `ReLU`. Each layer caches whatever its backward pass needs, so the
+//! calling convention is strictly `forward` then `backward`.
+
+use crate::tensor::{matvec, matvec_transpose, outer_accumulate};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A fully-connected layer `y = W·x + b` with gradient accumulation.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Output dimension.
+    pub rows: usize,
+    /// Input dimension.
+    pub cols: usize,
+    /// Weights, `rows × cols` row-major.
+    pub w: Vec<f32>,
+    /// Bias, length `rows`.
+    pub b: Vec<f32>,
+    /// Accumulated weight gradient.
+    pub gw: Vec<f32>,
+    /// Accumulated bias gradient.
+    pub gb: Vec<f32>,
+    x_cache: Vec<f32>,
+}
+
+impl Linear {
+    /// He-uniform initialisation (appropriate for ReLU trunks).
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, rng: &mut SmallRng) -> Self {
+        let limit = (6.0 / cols as f32).sqrt();
+        let w = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            rows,
+            cols,
+            w,
+            b: vec![0.0; rows],
+            gw: vec![0.0; rows * cols],
+            gb: vec![0.0; rows],
+            x_cache: vec![0.0; cols],
+        }
+    }
+
+    /// Forward pass; caches the input for backprop.
+    pub fn forward(&mut self, x: &[f32], y: &mut Vec<f32>) {
+        y.resize(self.rows, 0.0);
+        self.x_cache.copy_from_slice(x);
+        matvec(&self.w, &self.b, x, y, self.rows, self.cols);
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &[f32], y: &mut Vec<f32>) {
+        y.resize(self.rows, 0.0);
+        matvec(&self.w, &self.b, x, y, self.rows, self.cols);
+    }
+
+    /// Backward pass: accumulates `gw`/`gb`, writes the input gradient.
+    pub fn backward(&mut self, dy: &[f32], dx: &mut Vec<f32>) {
+        dx.resize(self.cols, 0.0);
+        outer_accumulate(&mut self.gw, dy, &self.x_cache, self.rows, self.cols);
+        for (g, &d) in self.gb.iter_mut().zip(dy.iter()) {
+            *g += d;
+        }
+        matvec_transpose(&self.w, dy, dx, self.rows, self.cols);
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// ReLU activation with a cached pass-through mask.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New (stateless until the first forward).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// In-place forward; records which lanes were positive.
+    pub fn forward(&mut self, x: &mut [f32]) {
+        self.mask.resize(x.len(), false);
+        for (v, m) in x.iter_mut().zip(self.mask.iter_mut()) {
+            *m = *v > 0.0;
+            if !*m {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// In-place forward without caching (inference only).
+    pub fn forward_inference(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// In-place backward using the cached mask.
+    pub fn backward(&self, dy: &mut [f32]) {
+        debug_assert_eq!(dy.len(), self.mask.len());
+        for (d, &m) in dy.iter_mut().zip(self.mask.iter()) {
+            if !m {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut l = Linear::new(2, 3, &mut rng());
+        l.w = vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5];
+        l.b = vec![0.5, -0.5];
+        let mut y = Vec::new();
+        l.forward(&[1.0, 2.0, 3.0], &mut y);
+        assert!((y[0] - (1.0 - 3.0 + 0.5)).abs() < 1e-6);
+        assert!((y[1] - (2.0 + 2.0 + 1.5 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_gradients_match_numerical() {
+        // Check dL/dW, dL/db and dL/dx against central differences for
+        // L = sum(y^2)/2 so dL/dy = y.
+        let mut l = Linear::new(3, 4, &mut rng());
+        let x: Vec<f32> = vec![0.3, -0.7, 1.2, 0.05];
+        let mut y = Vec::new();
+        l.forward(&x, &mut y);
+        let dy = y.clone();
+        let mut dx = Vec::new();
+        l.zero_grad();
+        l.backward(&dy, &mut dx);
+
+        let eps = 1e-3f32;
+        let loss = |l: &Linear, x: &[f32]| -> f32 {
+            let mut y = Vec::new();
+            l.forward_inference(x, &mut y);
+            0.5 * y.iter().map(|v| v * v).sum::<f32>()
+        };
+        // Weight gradients.
+        for idx in [0usize, 5, 11] {
+            let mut lp = l.clone();
+            lp.w[idx] += eps;
+            let mut lm = l.clone();
+            lm.w[idx] -= eps;
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!(
+                (num - l.gw[idx]).abs() < 2e-2 * num.abs().max(1.0),
+                "gw[{idx}]: num {num} vs analytic {}",
+                l.gw[idx]
+            );
+        }
+        // Bias gradient.
+        for idx in 0..3 {
+            let mut lp = l.clone();
+            lp.b[idx] += eps;
+            let mut lm = l.clone();
+            lm.b[idx] -= eps;
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((num - l.gb[idx]).abs() < 2e-2 * num.abs().max(1.0));
+        }
+        // Input gradient.
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let num = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+            assert!((num - dx[idx]).abs() < 2e-2 * num.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        let mut y = Vec::new();
+        let mut dx = Vec::new();
+        l.zero_grad();
+        l.forward(&[1.0, 1.0], &mut y);
+        l.backward(&[1.0, 1.0], &mut dx);
+        let first = l.gb.clone();
+        l.forward(&[1.0, 1.0], &mut y);
+        l.backward(&[1.0, 1.0], &mut dx);
+        for (a, b) in l.gb.iter().zip(first.iter()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn relu_masks_negative_lanes() {
+        let mut r = Relu::new();
+        let mut x = vec![1.0, -2.0, 0.0, 3.0];
+        r.forward(&mut x);
+        assert_eq!(x, vec![1.0, 0.0, 0.0, 3.0]);
+        let mut dy = vec![10.0, 10.0, 10.0, 10.0];
+        r.backward(&mut dy);
+        assert_eq!(dy, vec![10.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn he_init_scale_is_reasonable() {
+        let l = Linear::new(64, 256, &mut rng());
+        let limit = (6.0f32 / 256.0).sqrt();
+        assert!(l.w.iter().all(|w| w.abs() <= limit));
+        let mean: f32 = l.w.iter().sum::<f32>() / l.w.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+}

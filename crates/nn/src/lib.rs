@@ -1,0 +1,38 @@
+//! # hrp-nn — a from-scratch deep-RL substrate
+//!
+//! The paper implements its agent with PyTorch: a **dueling double deep
+//! Q-network** (Wang et al., ICML'16; van Hasselt et al., AAAI'16) with
+//! three fully-connected hidden layers (512/256/128, ReLU), a V head and
+//! an A head (Table VI). No ML framework is available in this workspace,
+//! so this crate implements the needed pieces directly:
+//!
+//! * [`tensor`] — minimal dense row-major matrix/vector kernels;
+//! * [`layers`] — fully-connected layer and ReLU with exact backprop;
+//! * [`net`] — the Q-network: MLP trunk + plain or dueling head;
+//! * [`opt`] — Adam (Kingma & Ba) over the flattened parameter vector;
+//! * [`replay`] — a ring replay buffer with action masking support;
+//! * [`schedule`] — the ε-greedy schedule (1 → 0.01 linear decay);
+//! * [`dqn`] — the agent: ε-greedy action selection, double-DQN targets,
+//!   Huber loss, periodic target-network sync;
+//! * [`serialize`] — weight snapshots to/from bytes.
+//!
+//! Everything is deterministic for a fixed seed (`rand::SmallRng`), and
+//! the backprop code is validated against numerical gradients in tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dqn;
+pub mod layers;
+pub mod net;
+pub mod opt;
+pub mod replay;
+pub mod schedule;
+pub mod serialize;
+pub mod tensor;
+
+pub use dqn::{DqnAgent, DqnConfig};
+pub use net::{Head, QNet};
+pub use opt::Adam;
+pub use replay::{ReplayBuffer, Transition};
+pub use schedule::EpsilonSchedule;

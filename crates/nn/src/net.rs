@@ -1,0 +1,396 @@
+//! The Q-network: an MLP trunk with either a plain Q head or the
+//! **dueling** head of Wang et al. (ICML'16), as configured in the
+//! paper's Table VI (hidden layers 512/256/128, V = 1, A = 29).
+//!
+//! With the dueling head the Q-values are assembled as
+//! `Q(s,a) = V(s) + A(s,a) − mean_a' A(s,a')` — subtracting the mean
+//! keeps V/A identifiable.
+
+use crate::layers::{Linear, Relu};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Head architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Head {
+    /// Single linear layer producing Q directly.
+    Plain,
+    /// Separate V (scalar) and A (per-action) streams.
+    Dueling,
+}
+
+enum HeadLayers {
+    Plain(Linear),
+    Dueling {
+        v: Linear,
+        a: Linear,
+        /// Cached advantage outputs for backward.
+        a_cache: Vec<f32>,
+    },
+}
+
+/// The Q-network.
+pub struct QNet {
+    trunk: Vec<(Linear, Relu)>,
+    head: HeadLayers,
+    n_actions: usize,
+    /// Scratch buffers reused across calls.
+    bufs: (Vec<f32>, Vec<f32>),
+    /// Cached trunk activations (input to each layer) — only the last
+    /// hidden activation is needed by the head backward, the rest live in
+    /// each layer's own cache.
+    last_hidden: Vec<f32>,
+}
+
+impl QNet {
+    /// Build a network: `state_dim → hidden[0] → … → n_actions`.
+    #[must_use]
+    pub fn new(state_dim: usize, hidden: &[usize], n_actions: usize, head: Head, seed: u64) -> Self {
+        assert!(!hidden.is_empty(), "need at least one hidden layer");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut trunk = Vec::with_capacity(hidden.len());
+        let mut prev = state_dim;
+        for &h in hidden {
+            trunk.push((Linear::new(h, prev, &mut rng), Relu::new()));
+            prev = h;
+        }
+        let head = match head {
+            Head::Plain => HeadLayers::Plain(Linear::new(n_actions, prev, &mut rng)),
+            Head::Dueling => HeadLayers::Dueling {
+                v: Linear::new(1, prev, &mut rng),
+                a: Linear::new(n_actions, prev, &mut rng),
+                a_cache: vec![0.0; n_actions],
+            },
+        };
+        Self {
+            trunk,
+            head,
+            n_actions,
+            bufs: (Vec::new(), Vec::new()),
+            last_hidden: Vec::new(),
+        }
+    }
+
+    /// Number of actions (Q outputs).
+    #[must_use]
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Forward pass with caching (call before [`QNet::backward`]).
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let (cur, next) = (&mut self.bufs.0, &mut self.bufs.1);
+        cur.clear();
+        cur.extend_from_slice(x);
+        for (lin, relu) in &mut self.trunk {
+            lin.forward(cur, next);
+            relu.forward(next);
+            std::mem::swap(cur, next);
+        }
+        self.last_hidden.clear();
+        self.last_hidden.extend_from_slice(cur);
+        match &mut self.head {
+            HeadLayers::Plain(l) => {
+                let mut q = Vec::new();
+                l.forward(cur, &mut q);
+                q
+            }
+            HeadLayers::Dueling { v, a, a_cache } => {
+                let mut vout = Vec::new();
+                v.forward(cur, &mut vout);
+                let mut aout = Vec::new();
+                a.forward(cur, &mut aout);
+                a_cache.clear();
+                a_cache.extend_from_slice(&aout);
+                let mean = aout.iter().sum::<f32>() / aout.len() as f32;
+                aout.iter().map(|ai| vout[0] + ai - mean).collect()
+            }
+        }
+    }
+
+    /// Inference-only forward (no caches touched; usable on `&self`).
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (lin, _) in &self.trunk {
+            lin.forward_inference(&cur, &mut next);
+            Relu::forward_inference(&mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        match &self.head {
+            HeadLayers::Plain(l) => {
+                let mut q = Vec::new();
+                l.forward_inference(&cur, &mut q);
+                q
+            }
+            HeadLayers::Dueling { v, a, .. } => {
+                let mut vout = Vec::new();
+                v.forward_inference(&cur, &mut vout);
+                let mut aout = Vec::new();
+                a.forward_inference(&cur, &mut aout);
+                let mean = aout.iter().sum::<f32>() / aout.len() as f32;
+                aout.iter().map(|ai| vout[0] + ai - mean).collect()
+            }
+        }
+    }
+
+    /// Backward pass from a Q-gradient; accumulates parameter gradients.
+    pub fn backward(&mut self, dq: &[f32]) {
+        assert_eq!(dq.len(), self.n_actions);
+        let mut dhidden = vec![0.0f32; self.last_hidden.len()];
+        match &mut self.head {
+            HeadLayers::Plain(l) => {
+                let mut dx = Vec::new();
+                l.backward(dq, &mut dx);
+                dhidden.copy_from_slice(&dx);
+            }
+            HeadLayers::Dueling { v, a, .. } => {
+                // Q_a = V + A_a − mean(A):
+                //   dV = Σ_a dQ_a
+                //   dA_k = dQ_k − (1/N)·Σ_a dQ_a
+                let sum: f32 = dq.iter().sum();
+                let n = dq.len() as f32;
+                let da: Vec<f32> = dq.iter().map(|d| d - sum / n).collect();
+                let mut dx_v = Vec::new();
+                v.backward(&[sum], &mut dx_v);
+                let mut dx_a = Vec::new();
+                a.backward(&da, &mut dx_a);
+                for ((h, xv), xa) in dhidden.iter_mut().zip(dx_v.iter()).zip(dx_a.iter()) {
+                    *h = xv + xa;
+                }
+            }
+        }
+        let (cur, next) = (&mut self.bufs.0, &mut self.bufs.1);
+        cur.clear();
+        cur.extend_from_slice(&dhidden);
+        for (lin, relu) in self.trunk.iter_mut().rev() {
+            relu.backward(cur);
+            lin.backward(cur, next);
+            std::mem::swap(cur, next);
+        }
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for (lin, _) in &mut self.trunk {
+            lin.zero_grad();
+        }
+        match &mut self.head {
+            HeadLayers::Plain(l) => l.zero_grad(),
+            HeadLayers::Dueling { v, a, .. } => {
+                v.zero_grad();
+                a.zero_grad();
+            }
+        }
+    }
+
+    fn layers(&self) -> Vec<&Linear> {
+        let mut out: Vec<&Linear> = self.trunk.iter().map(|(l, _)| l).collect();
+        match &self.head {
+            HeadLayers::Plain(l) => out.push(l),
+            HeadLayers::Dueling { v, a, .. } => {
+                out.push(v);
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    fn layers_mut(&mut self) -> Vec<&mut Linear> {
+        let mut out: Vec<&mut Linear> = self.trunk.iter_mut().map(|(l, _)| l).collect();
+        match &mut self.head {
+            HeadLayers::Plain(l) => out.push(l),
+            HeadLayers::Dueling { v, a, .. } => {
+                out.push(v);
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers().iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Flatten all parameters into `out` (canonical layer order).
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in self.layers() {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+    }
+
+    /// Load parameters from a flat vector (canonical layer order).
+    ///
+    /// # Panics
+    /// Panics if `src` has the wrong length.
+    pub fn read_params(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.num_params(), "parameter count mismatch");
+        let mut off = 0;
+        for l in self.layers_mut() {
+            let wlen = l.w.len();
+            l.w.copy_from_slice(&src[off..off + wlen]);
+            off += wlen;
+            let blen = l.b.len();
+            l.b.copy_from_slice(&src[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Flatten all gradients into `out` (canonical layer order).
+    pub fn write_grads(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in self.layers() {
+            out.extend_from_slice(&l.gw);
+            out.extend_from_slice(&l.gb);
+        }
+    }
+
+    /// Apply a parameter update: `params += delta` (canonical order).
+    pub fn apply_delta(&mut self, delta: &[f32]) {
+        assert_eq!(delta.len(), self.num_params());
+        let mut off = 0;
+        for l in self.layers_mut() {
+            for w in l.w.iter_mut() {
+                *w += delta[off];
+                off += 1;
+            }
+            for b in l.b.iter_mut() {
+                *b += delta[off];
+                off += 1;
+            }
+        }
+    }
+
+    /// Copy weights from another, identically-shaped network (the target
+    /// sync of double DQN).
+    pub fn copy_weights_from(&mut self, other: &QNet) {
+        let mut buf = Vec::new();
+        other.write_params(&mut buf);
+        self.read_params(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(head: Head) -> QNet {
+        QNet::new(4, &[8, 6], 3, head, 42)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        for head in [Head::Plain, Head::Dueling] {
+            let mut net = tiny(head);
+            let q = net.forward(&[0.1, -0.2, 0.3, 0.4]);
+            assert_eq!(q.len(), 3);
+            assert_eq!(net.n_actions(), 3);
+        }
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        for head in [Head::Plain, Head::Dueling] {
+            let mut net = tiny(head);
+            let x = [0.5, 0.1, -0.3, 0.9];
+            let a = net.forward(&x);
+            let b = net.predict(&x);
+            for (u, v) in a.iter().zip(b.iter()) {
+                assert!((u - v).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dueling_q_is_v_plus_centered_advantage() {
+        let mut net = tiny(Head::Dueling);
+        let q = net.forward(&[1.0, 2.0, 3.0, 4.0]);
+        // mean(Q) should equal V because the advantage is mean-centred.
+        let mean_q = q.iter().sum::<f32>() / q.len() as f32;
+        // Extract V by rebuilding from internals: predict with a
+        // single-action advantage is not exposed, so check the invariant
+        // mean(Q) = V indirectly via backward consistency below. Here we
+        // just check all Q differ (advantage is doing something).
+        assert!(q.iter().any(|&v| (v - mean_q).abs() > 1e-6));
+    }
+
+    #[test]
+    fn gradients_match_numerical_plain_and_dueling() {
+        for head in [Head::Plain, Head::Dueling] {
+            let mut net = tiny(head);
+            let x = [0.3, -0.1, 0.8, 0.2];
+            // L = 0.5 · Σ Q_a², dL/dQ = Q.
+            let q = net.forward(&x);
+            net.zero_grad();
+            net.backward(&q);
+            let mut analytic = Vec::new();
+            net.write_grads(&mut analytic);
+
+            let mut params = Vec::new();
+            net.write_params(&mut params);
+            let eps = 1e-2f32;
+            // Spot-check a spread of parameter indices.
+            let n = params.len();
+            for &idx in &[0, n / 3, n / 2, (2 * n) / 3, n - 1] {
+                let mut pp = params.clone();
+                pp[idx] += eps;
+                net.read_params(&pp);
+                let lp: f32 = net.predict(&x).iter().map(|v| 0.5 * v * v).sum();
+                let mut pm = params.clone();
+                pm[idx] -= eps;
+                net.read_params(&pm);
+                let lm: f32 = net.predict(&x).iter().map(|v| 0.5 * v * v).sum();
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - analytic[idx]).abs() < 5e-2 * num.abs().max(1.0),
+                    "{head:?} param {idx}: numeric {num} vs analytic {}",
+                    analytic[idx]
+                );
+            }
+            net.read_params(&params);
+        }
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut a = tiny(Head::Dueling);
+        let mut b = QNet::new(4, &[8, 6], 3, Head::Dueling, 7);
+        let x = [0.2, 0.4, -0.6, 0.8];
+        assert_ne!(a.forward(&x), b.forward(&x), "different seeds differ");
+        b.copy_weights_from(&a);
+        let qa = a.predict(&x);
+        let qb = b.predict(&x);
+        for (u, v) in qa.iter().zip(qb.iter()) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn apply_delta_shifts_params() {
+        let mut net = tiny(Head::Plain);
+        let mut before = Vec::new();
+        net.write_params(&mut before);
+        let delta = vec![0.01f32; net.num_params()];
+        net.apply_delta(&delta);
+        let mut after = Vec::new();
+        net.write_params(&mut after);
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((a - b - 0.01).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_architecture_builds() {
+        // Table VI: input W×(f+5) = 12×17 = 204, hidden 512/256/128,
+        // V = 1, A = 29.
+        let net = QNet::new(204, &[512, 256, 128], 29, Head::Dueling, 0);
+        // 204·512+512 + 512·256+256 + 256·128+128 + 128·1+1 + 128·29+29
+        let expect = 204 * 512 + 512 + 512 * 256 + 256 + 256 * 128 + 128 + 128 + 1 + 128 * 29 + 29;
+        assert_eq!(net.num_params(), expect);
+    }
+}

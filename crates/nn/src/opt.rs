@@ -1,0 +1,100 @@
+//! Adam optimiser (Kingma & Ba, ICLR'15) over a flat parameter vector.
+
+/// Adam state and hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// New optimiser for `n` parameters.
+    #[must_use]
+    pub fn new(n: usize, lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Compute the update `delta` (to be *added* to the parameters) from
+    /// the gradient of one step.
+    pub fn step(&mut self, grads: &[f32], delta: &mut Vec<f32>) {
+        assert_eq!(grads.len(), self.m.len(), "gradient size mismatch");
+        self.t += 1;
+        delta.resize(grads.len(), 0.0);
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..grads.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            delta[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Steps taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_moves_against_gradient_at_lr() {
+        let mut adam = Adam::new(3, 0.01);
+        let mut delta = Vec::new();
+        adam.step(&[1.0, -2.0, 0.0], &mut delta);
+        // First Adam step has magnitude ≈ lr for nonzero grads.
+        assert!((delta[0] + 0.01).abs() < 1e-4);
+        assert!((delta[1] - 0.01).abs() < 1e-4);
+        assert_eq!(delta[2], 0.0);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize f(x) = Σ (x_i − target_i)²; gradient 2(x − t).
+        let target = [3.0f32, -1.0, 0.5];
+        let mut x = [0.0f32; 3];
+        let mut adam = Adam::new(3, 0.05);
+        let mut delta = Vec::new();
+        for _ in 0..2000 {
+            let g: Vec<f32> = x.iter().zip(target.iter()).map(|(a, t)| 2.0 * (a - t)).collect();
+            adam.step(&g, &mut delta);
+            for (xi, d) in x.iter_mut().zip(delta.iter()) {
+                *xi += d;
+            }
+        }
+        for (xi, t) in x.iter().zip(target.iter()) {
+            assert!((xi - t).abs() < 1e-2, "{xi} vs {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient size mismatch")]
+    fn size_mismatch_panics() {
+        let mut adam = Adam::new(2, 0.01);
+        let mut delta = Vec::new();
+        adam.step(&[1.0], &mut delta);
+    }
+}

@@ -1,0 +1,135 @@
+//! Weight snapshots: flat little-endian f32 blobs with a small header.
+//!
+//! The paper trains offline once per system and deploys the frozen agent
+//! online; snapshots are that hand-off artifact.
+
+use crate::net::QNet;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic prefix for snapshot blobs.
+const MAGIC: &[u8; 4] = b"HRPQ";
+/// Snapshot format version.
+const VERSION: u32 = 1;
+
+/// Serialisation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Blob too short or missing magic.
+    NotASnapshot,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Parameter count does not match the target network.
+    WrongShape {
+        /// Parameters in the blob.
+        found: usize,
+        /// Parameters the network expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotASnapshot => write!(f, "not an HRPQ snapshot"),
+            Self::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            Self::WrongShape { found, expected } => {
+                write!(f, "snapshot has {found} params, network expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialise a network's weights.
+#[must_use]
+pub fn save_weights(net: &QNet) -> Bytes {
+    let mut params = Vec::new();
+    net.write_params(&mut params);
+    let mut buf = BytesMut::with_capacity(12 + 4 * params.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        buf.put_f32_le(p);
+    }
+    buf.freeze()
+}
+
+/// Load weights into an identically-shaped network.
+pub fn load_weights(net: &mut QNet, mut blob: Bytes) -> Result<(), SnapshotError> {
+    if blob.len() < 12 || &blob[..4] != MAGIC {
+        return Err(SnapshotError::NotASnapshot);
+    }
+    blob.advance(4);
+    let version = blob.get_u32_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let n = blob.get_u32_le() as usize;
+    if n != net.num_params() || blob.len() < 4 * n {
+        return Err(SnapshotError::WrongShape {
+            found: n,
+            expected: net.num_params(),
+        });
+    }
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        params.push(blob.get_f32_le());
+    }
+    net.read_params(&params);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Head;
+
+    #[test]
+    fn round_trip_preserves_outputs() {
+        let mut a = QNet::new(6, &[8], 3, Head::Dueling, 5);
+        let blob = save_weights(&a);
+        let mut b = QNet::new(6, &[8], 3, Head::Dueling, 99);
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        assert_ne!(a.forward(&x), b.forward(&x));
+        load_weights(&mut b, blob).unwrap();
+        let qa = a.predict(&x);
+        let qb = b.predict(&x);
+        for (u, v) in qa.iter().zip(qb.iter()) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut net = QNet::new(6, &[8], 3, Head::Plain, 5);
+        assert_eq!(
+            load_weights(&mut net, Bytes::from_static(b"nope")),
+            Err(SnapshotError::NotASnapshot)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let small = QNet::new(4, &[4], 2, Head::Plain, 1);
+        let blob = save_weights(&small);
+        let mut big = QNet::new(6, &[8], 3, Head::Plain, 1);
+        assert!(matches!(
+            load_weights(&mut big, blob),
+            Err(SnapshotError::WrongShape { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let net = QNet::new(4, &[4], 2, Head::Plain, 1);
+        let mut raw = BytesMut::from(&save_weights(&net)[..]);
+        raw[4] = 9; // bump version byte
+        let mut target = QNet::new(4, &[4], 2, Head::Plain, 2);
+        assert!(matches!(
+            load_weights(&mut target, raw.freeze()),
+            Err(SnapshotError::BadVersion(_))
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal dense linear-algebra kernels (f32, row-major).
+//!
+//! The Q-network is small (≲ 300k parameters) and trained one sample at a
+//! time, so simple cache-friendly loops beat any heavyweight dependency.
+//! The three kernels below are the only ones the network needs.
+
+/// `y = W·x + b` where `W` is `rows × cols` row-major.
+///
+/// # Panics
+/// Panics (in debug) on shape mismatch.
+#[inline]
+pub fn matvec(w: &[f32], b: &[f32], x: &[f32], y: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(b.len(), rows);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        // Simple dot product; LLVM auto-vectorizes this loop.
+        for (wi, xi) in row.iter().zip(x.iter()) {
+            acc += wi * xi;
+        }
+        *yr = acc + b[r];
+    }
+}
+
+/// `x_grad = Wᵀ·dy` where `W` is `rows × cols` row-major.
+#[inline]
+pub fn matvec_transpose(w: &[f32], dy: &[f32], x_grad: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(dy.len(), rows);
+    debug_assert_eq!(x_grad.len(), cols);
+    x_grad.fill(0.0);
+    for (r, &d) in dy.iter().enumerate() {
+        if d == 0.0 {
+            continue;
+        }
+        let row = &w[r * cols..(r + 1) * cols];
+        for (g, wi) in x_grad.iter_mut().zip(row.iter()) {
+            *g += wi * d;
+        }
+    }
+}
+
+/// Rank-1 update `GW += dy ⊗ x` (the weight gradient of a dense layer).
+#[inline]
+pub fn outer_accumulate(gw: &mut [f32], dy: &[f32], x: &[f32], rows: usize, cols: usize) {
+    debug_assert_eq!(gw.len(), rows * cols);
+    debug_assert_eq!(dy.len(), rows);
+    debug_assert_eq!(x.len(), cols);
+    for (r, &d) in dy.iter().enumerate() {
+        if d == 0.0 {
+            continue;
+        }
+        let row = &mut gw[r * cols..(r + 1) * cols];
+        for (g, xi) in row.iter_mut().zip(x.iter()) {
+            *g += d * xi;
+        }
+    }
+}
+
+/// Index of the maximum value among `allowed` entries (ties → lowest
+/// index). Returns `None` when no entry is allowed.
+#[must_use]
+pub fn masked_argmax(values: &[f32], allowed: impl Fn(usize) -> bool) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if !allowed(i) {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_computes_affine_map() {
+        // W = [[1,2],[3,4],[5,6]], x = [1, -1], b = [10, 20, 30]
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [10.0, 20.0, 30.0];
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        matvec(&w, &b, &x, &mut y, 3, 2);
+        assert_eq!(y, [9.0, 19.0, 29.0]);
+    }
+
+    #[test]
+    fn transpose_matvec_matches_manual() {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3×2
+        let dy = [1.0, 0.5, -1.0];
+        let mut dx = [0.0; 2];
+        matvec_transpose(&w, &dy, &mut dx, 3, 2);
+        // col0: 1·1 + 3·0.5 + 5·(-1) = -2.5; col1: 2 + 2 - 6 = -2
+        assert!((dx[0] + 2.5).abs() < 1e-6);
+        assert!((dx[1] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outer_accumulates() {
+        let mut gw = [1.0; 6]; // 3×2 pre-filled
+        outer_accumulate(&mut gw, &[1.0, 2.0, 0.0], &[10.0, -1.0], 3, 2);
+        assert_eq!(gw, [11.0, 0.0, 21.0, -1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn masked_argmax_respects_mask() {
+        let v = [1.0, 5.0, 3.0];
+        assert_eq!(masked_argmax(&v, |_| true), Some(1));
+        assert_eq!(masked_argmax(&v, |i| i != 1), Some(2));
+        assert_eq!(masked_argmax(&v, |_| false), None);
+    }
+
+    #[test]
+    fn masked_argmax_tie_breaks_low() {
+        let v = [2.0, 2.0, 1.0];
+        assert_eq!(masked_argmax(&v, |_| true), Some(0));
+    }
+}

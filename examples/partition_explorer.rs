@@ -1,0 +1,82 @@
+//! Partition explorer: parse, validate, and evaluate partitioning
+//! setups written in the paper's own notation.
+//!
+//! ```text
+//! cargo run --release --example partition_explorer -- '[{0.375},0.5m]+[(0.3)+(0.7){0.5},0.5m]'
+//! ```
+//!
+//! With no argument, walks through the four Fig. 2 options for a fixed
+//! job mix, printing slot-by-slot rates.
+
+use hrp::gpusim::notation::parse_scheme;
+use hrp::gpusim::perf::corun_rates;
+use hrp::prelude::*;
+
+fn describe(scheme: &PartitionScheme, suite: &Suite, names: &[&str]) {
+    let arch = suite.arch();
+    let part = match scheme.compile(arch) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("  INVALID: {e}");
+            return;
+        }
+    };
+    println!(
+        "  {} -> {} slot(s), {} memory domain(s), MIG {}",
+        scheme,
+        part.slots.len(),
+        part.domains.len(),
+        if part.mig_enabled { "on (7/8 GPCs)" } else { "off" },
+    );
+    let n = part.slots.len().min(names.len());
+    let apps: Vec<&AppModel> = names[..n]
+        .iter()
+        .map(|name| &suite.get(name).expect("known benchmark").app)
+        .collect();
+    let occupants: Vec<(&AppModel, usize)> =
+        apps.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+    let rates = corun_rates(&occupants, &part);
+    for (k, (app, slot)) in occupants.iter().enumerate() {
+        let s = &part.slots[*slot];
+        println!(
+            "    slot {k}: {:<14} compute {:>5.1}%  domain bw {:>5.1}%  -> rate {:.3}",
+            app.name,
+            s.compute_frac * 100.0,
+            part.domains[s.domain].bandwidth_frac * 100.0,
+            rates[k]
+        );
+    }
+    let total: f64 = rates.iter().sum();
+    println!("    aggregate progress rate: {total:.3} (1.0 = one solo GPU)");
+}
+
+fn main() {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    let mix = ["bt_solver_A", "sp_solver_B", "qs_Coral_P1", "qs_Coral_P2"];
+    println!("job mix: {}\n", mix.join(", "));
+
+    if let Some(arg) = std::env::args().nth(1) {
+        match parse_scheme(&arg) {
+            Ok(scheme) => describe(&scheme, &suite, &mix),
+            Err(e) => eprintln!("cannot parse '{arg}': {e}"),
+        }
+        return;
+    }
+
+    println!("Fig. 2 option 1 — MPS only:");
+    describe(
+        &PartitionScheme::mps_only(vec![0.5, 0.3, 0.1, 0.1]),
+        &suite,
+        &mix,
+    );
+    println!("\nFig. 2 option 2 — MIG, shared memory:");
+    describe(&PartitionScheme::mig_shared_3_4(), &suite, &mix);
+    println!("\nFig. 2 option 3 — MIG, private memory:");
+    describe(&PartitionScheme::mig_private_3_4(), &suite, &mix);
+    println!("\nFig. 2 option 4 — hierarchical MIG+MPS:");
+    describe(
+        &PartitionScheme::hierarchical_3_4(vec![0.5, 0.5], vec![0.7, 0.3]),
+        &suite,
+        &mix,
+    );
+}
