@@ -1,6 +1,11 @@
 //! Criterion benchmarks for the learning substrate: forward/backward
 //! passes of the paper-size network and one full DQN learning step —
 //! the costs that dominate the paper's "couple of hours" offline phase.
+//!
+//! Each stage is measured in both forms: the batched kernels that
+//! stream every weight matrix once per minibatch (`*_batch32`) and the
+//! per-sample loop that streams them once per sample (`*_per_sample_x32`).
+//! The ratio between the paired numbers is the batching speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hrp_nn::net::{Head, QNet};
@@ -8,9 +13,20 @@ use hrp_nn::replay::Transition;
 use hrp_nn::{DqnAgent, DqnConfig};
 
 const STATE_DIM: usize = 204; // W=12 × 17 features
+const BATCH: usize = 32;
+
+fn paper_net() -> QNet {
+    QNet::new(STATE_DIM, &[512, 256, 128], 29, Head::Dueling, 1)
+}
+
+fn batch_input() -> Vec<f32> {
+    (0..BATCH * STATE_DIM)
+        .map(|i| (i % 13) as f32 * 0.05 - 0.3)
+        .collect()
+}
 
 fn bench_forward(c: &mut Criterion) {
-    let mut net = QNet::new(STATE_DIM, &[512, 256, 128], 29, Head::Dueling, 1);
+    let mut net = paper_net();
     let x = vec![0.25f32; STATE_DIM];
     c.bench_function("qnet_forward_paper_arch", |b| {
         b.iter(|| black_box(net.forward(black_box(&x))))
@@ -20,8 +36,37 @@ fn bench_forward(c: &mut Criterion) {
     });
 }
 
+fn bench_forward_batched_vs_per_sample(c: &mut Criterion) {
+    let mut net = paper_net();
+    let xb = batch_input();
+    let mut out = Vec::new();
+    c.bench_function("qnet_forward_batch32", |b| {
+        b.iter(|| {
+            net.forward_batch(black_box(&xb), BATCH, &mut out);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("qnet_forward_per_sample_x32", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..BATCH {
+                acc += net
+                    .forward(black_box(&xb[i * STATE_DIM..(i + 1) * STATE_DIM]))
+                    .len();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("qnet_predict_batch32", |b| {
+        b.iter(|| {
+            net.predict_batch(black_box(&xb), BATCH, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
 fn bench_backward(c: &mut Criterion) {
-    let mut net = QNet::new(STATE_DIM, &[512, 256, 128], 29, Head::Dueling, 1);
+    let mut net = paper_net();
     let x = vec![0.25f32; STATE_DIM];
     let dq = vec![0.1f32; 29];
     c.bench_function("qnet_forward_backward_paper_arch", |b| {
@@ -33,7 +78,29 @@ fn bench_backward(c: &mut Criterion) {
     });
 }
 
-fn bench_learn_step(c: &mut Criterion) {
+fn bench_backward_batched_vs_per_sample(c: &mut Criterion) {
+    let mut net = paper_net();
+    let xb = batch_input();
+    let dqb = vec![0.01f32; BATCH * 29];
+    let mut out = Vec::new();
+    c.bench_function("qnet_forward_backward_batch32", |b| {
+        b.iter(|| {
+            net.forward_batch(black_box(&xb), BATCH, &mut out);
+            net.backward_batch(black_box(&dqb), BATCH);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("qnet_forward_backward_per_sample_x32", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                net.forward(black_box(&xb[i * STATE_DIM..(i + 1) * STATE_DIM]));
+                net.backward(black_box(&dqb[i * 29..(i + 1) * 29]));
+            }
+        })
+    });
+}
+
+fn filled_agent() -> DqnAgent {
     let cfg = DqnConfig::paper(STATE_DIM, 29);
     let mut agent = DqnAgent::new(cfg);
     for i in 0..64 {
@@ -46,10 +113,26 @@ fn bench_learn_step(c: &mut Criterion) {
             next_mask: u64::MAX >> (64 - 29),
         });
     }
+    agent
+}
+
+fn bench_learn_step(c: &mut Criterion) {
+    let mut agent = filled_agent();
     c.bench_function("dqn_learn_step_batch32", |b| {
         b.iter(|| black_box(agent.learn()))
     });
+    let mut agent = filled_agent();
+    c.bench_function("dqn_learn_step_per_sample_x32", |b| {
+        b.iter(|| black_box(agent.learn_per_sample()))
+    });
 }
 
-criterion_group!(benches, bench_forward, bench_backward, bench_learn_step);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_forward_batched_vs_per_sample,
+    bench_backward,
+    bench_backward_batched_vs_per_sample,
+    bench_learn_step,
+);
 criterion_main!(benches);

@@ -1,13 +1,18 @@
 //! Criterion benchmarks for the scheduling policies: the exhaustive
-//! baselines' set-partition DP (the paper's offline search cost) and a
-//! single group evaluation with assignment search.
+//! baselines' set-partition DP (the paper's offline search cost), a
+//! single group evaluation with assignment search, the RL environment's
+//! state encoding (fresh-allocation vs caller-buffer paths), and the
+//! bounded parallel evaluation fan-out.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrp_core::actions::ActionCatalog;
+use hrp_core::env::{CoScheduleEnv, EnvConfig};
 use hrp_core::exhaustive::for_each_small_subset;
 use hrp_core::policies::{MigOnly, MpsOnly, Policy, ScheduleContext};
 use hrp_core::problem::evaluate_group_best_assignment;
 use hrp_gpusim::engine::EngineConfig;
 use hrp_gpusim::{GpuArch, PartitionScheme};
+use hrp_profile::{FeatureScaler, ProfileRepository, Profiler};
 use hrp_workloads::{JobQueue, Suite};
 
 fn fixture() -> (Suite, JobQueue) {
@@ -79,11 +84,49 @@ fn bench_subset_enumeration(c: &mut Criterion) {
     });
 }
 
+fn bench_state_encoding(c: &mut Criterion) {
+    let (suite, queue) = fixture();
+    let profiler = Profiler::new(suite.arch().clone(), 0.02, 5);
+    let repo = ProfileRepository::for_suite(&suite, &profiler);
+    let scaler = FeatureScaler::fit(&repo);
+    let catalog = ActionCatalog::paper_29();
+    let cfg = EnvConfig {
+        w: 8,
+        cmax: 4,
+        ..EnvConfig::paper()
+    };
+    let env = CoScheduleEnv::new(&suite, &queue, &repo, &scaler, &catalog, cfg);
+    c.bench_function("env_state_fresh_alloc", |b| {
+        b.iter(|| black_box(env.state()))
+    });
+    let mut buf = Vec::new();
+    c.bench_function("env_state_into_reused_buffer", |b| {
+        b.iter(|| {
+            env.state_into(&mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_parallel_eval(c: &mut Criterion) {
+    use hrp_bench::eval::{eval_policy, evaluation_queues};
+    let (suite, _) = fixture();
+    let queues = evaluation_queues(&suite, 8, 1);
+    c.bench_function("eval_policy_mps_only_threads1", |b| {
+        b.iter(|| black_box(eval_policy(&suite, &queues, 4, &MpsOnly, 1)))
+    });
+    c.bench_function("eval_policy_mps_only_threads_auto", |b| {
+        b.iter(|| black_box(eval_policy(&suite, &queues, 4, &MpsOnly, 0)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_mps_only_w8,
     bench_mig_only_w8,
     bench_group_assignment,
-    bench_subset_enumeration
+    bench_subset_enumeration,
+    bench_state_encoding,
+    bench_parallel_eval,
 );
 criterion_main!(benches);

@@ -82,5 +82,11 @@ fn bench_notation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rates, bench_engine, bench_compile, bench_notation);
+criterion_group!(
+    benches,
+    bench_rates,
+    bench_engine,
+    bench_compile,
+    bench_notation
+);
 criterion_main!(benches);

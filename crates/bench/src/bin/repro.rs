@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--out DIR] <command>
+//! repro [--quick] [--seed N] [--threads N] [--out DIR] <command>
 //!
 //! commands:
 //!   table4    benchmark classification (Table IV)
@@ -21,7 +21,9 @@
 //! ```
 //!
 //! `--quick` shrinks the network and episode count for smoke runs; the
-//! defaults reproduce the paper-scale configuration.
+//! defaults reproduce the paper-scale configuration. `--threads N` caps
+//! the rollout/evaluation worker threads (default: available
+//! parallelism); results are identical for any thread count.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -42,12 +44,15 @@ struct Options {
     quick: bool,
     seed: u64,
     out: Option<PathBuf>,
+    /// Rollout/evaluation worker threads (0 = available parallelism).
+    threads: usize,
 }
 
 impl Options {
     fn train_cfg(&self) -> TrainConfig {
         let mut cfg = TrainConfig::paper();
         cfg.seed = self.seed;
+        cfg.n_workers = self.threads;
         if self.quick {
             cfg.hidden = vec![128, 64];
             cfg.episodes = 400;
@@ -73,6 +78,7 @@ fn main() {
         quick: false,
         seed: 42,
         out: Some(PathBuf::from("results")),
+        threads: 0,
     };
     let mut cmd = None;
     let mut i = 0;
@@ -99,6 +105,14 @@ fn main() {
                 opts.out = None;
                 args.remove(i);
             }
+            "--threads" => {
+                args.remove(i);
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a number");
+                args.remove(i);
+            }
             other => {
                 cmd = Some(other.to_owned());
                 i += 1;
@@ -106,7 +120,7 @@ fn main() {
         }
     }
     let cmd = cmd.unwrap_or_else(|| {
-        eprintln!("usage: repro [--quick] [--seed N] [--out DIR|--no-out] <command>");
+        eprintln!("usage: repro [--quick] [--seed N] [--threads N] [--out DIR|--no-out] <command>");
         eprintln!("commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12");
         eprintln!("          overhead ablate-reward ablate-agent ablate-interference all");
         std::process::exit(2);
@@ -251,11 +265,7 @@ fn table7(opts: &Options) {
             hier.len().to_string(),
             // The full C=4 list is long; elide the middle like the paper.
             if hier.len() > 6 {
-                format!(
-                    "{}; ...; {}",
-                    hier[..3].join("; "),
-                    hier[hier.len() - 1]
-                )
+                format!("{}; ...; {}", hier[..3].join("; "), hier[hier.len() - 1])
             } else {
                 hier.join("; ")
             },
@@ -369,8 +379,7 @@ fn emit_overhead(full: &FullEvaluation, opts: &Options) {
         "online decision latency per window [ms]".into(),
         f3(full.online_decision_ms),
     ]);
-    let mean_window_secs =
-        arithmetic_mean(&full.runs[4].metrics, |m| m.total_time);
+    let mean_window_secs = arithmetic_mean(&full.runs[4].metrics, |m| m.total_time);
     t.row(vec![
         "mean window runtime (RL) [s]".into(),
         f3(mean_window_secs),
@@ -437,7 +446,7 @@ fn oracle_cmd(suite: &Suite, opts: &Options) {
     use hrp_core::policies::OracleGreedy;
     let queues = evaluation_queues(suite, 12, opts.seed);
     let oracle = OracleGreedy::new(suite);
-    let run = eval_policy(suite, &queues, 4, &oracle);
+    let run = eval_policy(suite, &queues, 4, &oracle, opts.threads);
     let mut t = Table::new(&["queue", "throughput"]);
     for m in &run.metrics {
         t.row(vec![m.label.clone(), f3(m.throughput)]);
@@ -453,7 +462,7 @@ fn ablate_interference_cmd(suite: &Suite, opts: &Options) {
         "mig_only_mean",
         "mig_over_mps",
     ]);
-    for (factor, mps, mig) in ablate_interference(suite, 12, 4, opts.seed) {
+    for (factor, mps, mig) in ablate_interference(suite, 12, 4, opts.seed, opts.threads) {
         t.row(vec![f3(factor), f3(mps), f3(mig), f3(mig / mps)]);
     }
     t.emit("ablate_interference", opts.out.as_deref());

@@ -1,7 +1,15 @@
 //! The full §V evaluation: five policies × twelve queues, plus the
 //! window-size / Cmax scaling studies and the ablations.
+//!
+//! Every evaluation fans out over its independent units of work —
+//! queues within a policy run, interference factors within the
+//! ablation — through [`hrp_core::par::parallel_map`], capped by an
+//! explicit `threads` argument (`0` = available parallelism) that the
+//! `repro` binary surfaces as `--threads`. Results are collected in
+//! item order, so evaluation output is identical for any thread count.
 
 use hrp_core::metrics::{arithmetic_mean, evaluate_decision, QueueMetrics};
+use hrp_core::par::parallel_map;
 use hrp_core::policies::{
     MigMpsDefault, MigMpsRl, MigOnly, MpsOnly, Policy, ScheduleContext, TimeSharing,
 };
@@ -76,38 +84,38 @@ pub fn evaluation_queues(suite: &Suite, w: usize, seed: u64) -> Vec<JobQueue> {
 }
 
 /// Evaluate one policy over all queues (queues in parallel — each
-/// decision is independent).
+/// decision is independent). `threads` caps the worker count
+/// (`0` = available parallelism).
 #[must_use]
 pub fn eval_policy(
     suite: &Suite,
     queues: &[JobQueue],
     cmax: usize,
     policy: &(dyn Policy + Sync),
+    threads: usize,
 ) -> PolicyEval {
-    let mut metrics: Vec<Option<QueueMetrics>> = vec![None; queues.len()];
-    std::thread::scope(|scope| {
-        for (queue, slot) in queues.iter().zip(metrics.iter_mut()) {
-            scope.spawn(move || {
-                let ctx = ScheduleContext::new(suite, queue, cmax);
-                let decision = policy.schedule(&ctx);
-                decision
-                    .validate(queue, cmax, false)
-                    .unwrap_or_else(|e| panic!("{}: invalid decision: {e}", policy.name()));
-                *slot = Some(evaluate_decision(&queue.label, suite, queue, &decision));
-            });
-        }
+    let metrics: Vec<QueueMetrics> = parallel_map(queues.len(), threads, |i| {
+        let queue = &queues[i];
+        let ctx = ScheduleContext::new(suite, queue, cmax);
+        let decision = policy.schedule(&ctx);
+        decision
+            .validate(queue, cmax, false)
+            .unwrap_or_else(|e| panic!("{}: invalid decision: {e}", policy.name()));
+        evaluate_decision(&queue.label, suite, queue, &decision)
     });
     PolicyEval {
         policy: policy.name().to_owned(),
-        metrics: metrics.into_iter().map(|m| m.expect("joined")).collect(),
+        metrics,
     }
 }
 
-/// Run the complete comparison (Fig. 8/11/12 source data).
+/// Run the complete comparison (Fig. 8/11/12 source data). Evaluation
+/// fan-out reuses the training config's `n_workers` as its thread cap.
 #[must_use]
 pub fn run_full(suite: &Suite, train_cfg: TrainConfig) -> FullEvaluation {
     let w = train_cfg.w;
     let cmax = train_cfg.cmax;
+    let threads = train_cfg.n_workers;
     let queues = evaluation_queues(suite, w, train_cfg.seed);
 
     let t0 = Instant::now();
@@ -120,8 +128,7 @@ pub fn run_full(suite: &Suite, train_cfg: TrainConfig) -> FullEvaluation {
         .iter()
         .map(|q| ScheduleContext::new(suite, q, cmax))
         .collect();
-    let pairs: Vec<(&ScheduleContext<'_>, &JobQueue)> =
-        ctxs.iter().zip(queues.iter()).collect();
+    let pairs: Vec<(&ScheduleContext<'_>, &JobQueue)> = ctxs.iter().zip(queues.iter()).collect();
     let default_policy = MigMpsDefault::fit(&pairs);
 
     // Online decision latency: greedy rollouts only (the simulated
@@ -143,7 +150,7 @@ pub fn run_full(suite: &Suite, train_cfg: TrainConfig) -> FullEvaluation {
     ];
     let runs: Vec<PolicyEval> = policies
         .iter()
-        .map(|p| eval_policy(suite, &queues, cmax, *p))
+        .map(|p| eval_policy(suite, &queues, cmax, *p, threads))
         .collect();
 
     FullEvaluation {
@@ -175,7 +182,7 @@ pub fn ablate_reward(suite: &Suite, base: TrainConfig) -> Vec<(String, f64)> {
             cfg.rf_weight = *rf;
             let (trained, _) = train(suite, cfg);
             let policy = MigMpsRl::new(trained);
-            let run = eval_policy(suite, &queues, base.cmax, &policy);
+            let run = eval_policy(suite, &queues, base.cmax, &policy, base.n_workers);
             ((*name).to_owned(), run.mean_throughput())
         })
         .collect()
@@ -200,7 +207,7 @@ pub fn ablate_agent(suite: &Suite, base: TrainConfig) -> Vec<(String, f64)> {
             cfg.double = *double;
             let (trained, _) = train(suite, cfg);
             let policy = MigMpsRl::new(trained);
-            let run = eval_policy(suite, &queues, base.cmax, &policy);
+            let run = eval_policy(suite, &queues, base.cmax, &policy, base.n_workers);
             ((*name).to_owned(), run.mean_throughput())
         })
         .collect()
@@ -209,16 +216,27 @@ pub fn ablate_agent(suite: &Suite, base: TrainConfig) -> Vec<(String, f64)> {
 /// Interference ablation: on an interference-free counterfactual GPU,
 /// the gap between memory-isolating (MIG) and purely logical (MPS)
 /// partitioning should collapse. Returns
-/// `(interference_factor, mps_only_mean, mig_only_mean)` rows.
+/// `(interference_factor, mps_only_mean, mig_only_mean)` rows; each
+/// factor's queues are evaluated concurrently (bounded by `threads`).
 #[must_use]
-pub fn ablate_interference(suite: &Suite, w: usize, cmax: usize, seed: u64) -> Vec<(f64, f64, f64)> {
+pub fn ablate_interference(
+    suite: &Suite,
+    w: usize,
+    cmax: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(f64, f64, f64)> {
+    // Factors stay serial; the fan-out lives in the per-queue
+    // evaluation underneath, which has 12 units of work per policy to
+    // the factors' 3.
     [1.0, 0.5, 0.0]
         .into_iter()
         .map(|factor| {
             let scaled = suite.with_interference_scaled(factor);
             let queues = evaluation_queues(&scaled, w, seed);
-            let mps = eval_policy(&scaled, &queues, cmax, &MpsOnly).mean_throughput();
-            let mig = eval_policy(&scaled, &queues, 2.min(cmax), &MigOnly).mean_throughput();
+            let mps = eval_policy(&scaled, &queues, cmax, &MpsOnly, threads).mean_throughput();
+            let mig =
+                eval_policy(&scaled, &queues, 2.min(cmax), &MigOnly, threads).mean_throughput();
             (factor, mps, mig)
         })
         .collect()
@@ -266,7 +284,7 @@ mod tests {
     #[test]
     fn interference_ablation_closes_the_gap() {
         let suite = Suite::paper_suite(&GpuArch::a100());
-        let rows = ablate_interference(&suite, 6, 4, 3);
+        let rows = ablate_interference(&suite, 6, 4, 3, 0);
         assert_eq!(rows.len(), 3);
         let gap_full = rows[0].2 / rows[0].1; // mig/mps at full interference
         let gap_none = rows[2].2 / rows[2].1; // ... with none

@@ -159,11 +159,9 @@ pub fn fig5_variants(suite: &Suite) -> Vec<VariantComparison> {
         let mut best = (f64::INFINITY, String::new());
         for (p1, p2) in &pairings {
             for s1 in schemes {
-                let g1 =
-                    evaluate_group_best_assignment(suite, &queue, p1, s1, &arch, &eng);
+                let g1 = evaluate_group_best_assignment(suite, &queue, p1, s1, &arch, &eng);
                 for s2 in schemes {
-                    let g2 =
-                        evaluate_group_best_assignment(suite, &queue, p2, s2, &arch, &eng);
+                    let g2 = evaluate_group_best_assignment(suite, &queue, p2, s2, &arch, &eng);
                     let total = g1.corun_time + g2.corun_time;
                     if total < best.0 {
                         best = (total, format!("{s1} | {s2}"));
@@ -252,7 +250,11 @@ mod tests {
                 .map(|(_, t)| *t)
                 .unwrap()
         };
-        assert!(at(0.5) >= 0.98 * max, "balanced near-optimal: {} vs {max}", at(0.5));
+        assert!(
+            at(0.5) >= 0.98 * max,
+            "balanced near-optimal: {} vs {max}",
+            at(0.5)
+        );
         assert!(
             at(0.1) < 0.95 * max && at(0.9) < max - 1e-6,
             "extremes fall off: {} / {} vs {max}",

@@ -119,9 +119,7 @@ impl ClusterSim {
                 .iter()
                 .map(|(t, _)| *t)
                 .fold(f64::INFINITY, f64::min);
-            let next_arrival = arrivals
-                .peek()
-                .map_or(f64::INFINITY, |j| j.arrival);
+            let next_arrival = arrivals.peek().map_or(f64::INFINITY, |j| j.arrival);
             let next = next_finish.min(next_arrival);
             if next.is_infinite() {
                 assert!(

@@ -41,9 +41,7 @@ impl ActionCatalog {
         let mut three = enumerate_splits(3, 0.1);
         // Keep 7 representative splits: drop (0.1,0.4,0.5) and (0.2,0.4,0.4)
         // to stay within the 29-action budget.
-        three.retain(|s| {
-            s != &vec![0.1, 0.4, 0.5] && s != &vec![0.2, 0.4, 0.4]
-        });
+        three.retain(|s| s != &vec![0.1, 0.4, 0.5] && s != &vec![0.2, 0.4, 0.4]);
         for s in three {
             actions.push(PartitionScheme::mps_only(s));
         }
@@ -246,7 +244,9 @@ mod tests {
         let arch = hrp_gpusim::GpuArch::a100();
         let cat = ActionCatalog::paper_29();
         for (i, s) in cat.schemes().iter().enumerate() {
-            let compiled = s.compile(&arch).unwrap_or_else(|e| panic!("action {i}: {e}"));
+            let compiled = s
+                .compile(&arch)
+                .unwrap_or_else(|e| panic!("action {i}: {e}"));
             assert_eq!(compiled.slots.len(), cat.concurrency(i));
         }
     }

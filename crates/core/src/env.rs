@@ -174,10 +174,12 @@ impl<'a> CoScheduleEnv<'a> {
         self.pending_count() == 0
     }
 
-    /// Encode the current state.
-    #[must_use]
-    pub fn state(&self) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.state_dim()];
+    /// Encode the current state into a caller-provided buffer (resized
+    /// to `W × 17`), avoiding a fresh allocation per step — rollout
+    /// workers reuse one buffer per episode.
+    pub fn state_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.state_dim(), 0.0);
         for (i, job) in self.queue.jobs.iter().enumerate() {
             if !self.pending[job.id] {
                 continue; // scheduled slots stay zero
@@ -195,6 +197,13 @@ impl<'a> CoScheduleEnv<'a> {
             out[base + class_off] = 1.0;
             out[base + 16] = (self.profiles[i].solo_time / self.max_solo) as f32;
         }
+    }
+
+    /// Encode the current state into a fresh vector.
+    #[must_use]
+    pub fn state(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.state_into(&mut out);
         out
     }
 
@@ -230,9 +239,7 @@ impl<'a> CoScheduleEnv<'a> {
         for n_ci in 0..=c {
             for n_mi in 0..=(c - n_ci) {
                 let n_us = c - n_ci - n_mi;
-                if n_ci > by_class[0].len()
-                    || n_mi > by_class[1].len()
-                    || n_us > by_class[2].len()
+                if n_ci > by_class[0].len() || n_mi > by_class[1].len() || n_us > by_class[2].len()
                 {
                     continue;
                 }
@@ -319,12 +326,7 @@ impl<'a> CoScheduleEnv<'a> {
                     .map(|s| {
                         let slot = &part.slots[s];
                         let mem = part.domains[slot.domain].bandwidth_frac;
-                        intermediate_reward(
-                            &self.profiles[j],
-                            &self.stats,
-                            slot.compute_frac,
-                            mem,
-                        )
+                        intermediate_reward(&self.profiles[j], &self.stats, slot.compute_frac, mem)
                     })
                     .collect()
             })
@@ -450,7 +452,13 @@ mod tests {
     use super::*;
     use hrp_profile::Profiler;
 
-    fn fixture() -> (Suite, JobQueue, ProfileRepository, FeatureScaler, ActionCatalog) {
+    fn fixture() -> (
+        Suite,
+        JobQueue,
+        ProfileRepository,
+        FeatureScaler,
+        ActionCatalog,
+    ) {
         let arch = GpuArch::a100();
         let suite = Suite::paper_suite(&arch);
         let queue = JobQueue::from_names(
@@ -504,9 +512,7 @@ mod tests {
         let r = env.step(0); // C = 1 action
         assert!(!r.done);
         let s = env.state();
-        let zeroed: usize = (0..6)
-            .filter(|i| s[i * JOB_FEATURES + 12] == 0.0)
-            .count();
+        let zeroed: usize = (0..6).filter(|i| s[i * JOB_FEATURES + 12] == 0.0).count();
         assert_eq!(zeroed, 1);
         assert_eq!(env.pending_count(), 5);
     }
@@ -580,7 +586,14 @@ mod tests {
         let (suite, _, repo, scaler, catalog) = fixture();
         let queue = JobQueue::from_names(
             "t2",
-            &["bt_solver_A", "sp_solver_B", "stream", "kmeans", "pathfinder", "dwt2d"],
+            &[
+                "bt_solver_A",
+                "sp_solver_B",
+                "stream",
+                "kmeans",
+                "pathfinder",
+                "dwt2d",
+            ],
             &suite,
         );
         let mut env = CoScheduleEnv::new(&suite, &queue, &repo, &scaler, &catalog, cfg());
@@ -597,7 +610,11 @@ mod tests {
         assert!(r.reward > 0.0);
         // And the CI job must be on the 0.8 slot.
         let group = &env.decision().groups[0];
-        let bt = queue.jobs.iter().position(|j| j.name == "bt_solver_A").unwrap();
+        let bt = queue
+            .jobs
+            .iter()
+            .position(|j| j.name == "bt_solver_A")
+            .unwrap();
         let pos = group.job_ids.iter().position(|&j| j == bt).unwrap();
         assert_eq!(group.assignment[pos], 1, "CI job takes the big share");
     }

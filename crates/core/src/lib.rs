@@ -37,6 +37,7 @@ pub mod env;
 pub mod exhaustive;
 pub mod metrics;
 pub mod online;
+pub mod par;
 pub mod policies;
 pub mod predict;
 pub mod problem;

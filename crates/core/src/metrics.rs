@@ -43,7 +43,11 @@ pub fn evaluate_decision(
             slowdowns.push(g.app_times[k] / solo);
         }
     }
-    assert_eq!(slowdowns.len(), queue.len(), "decision must cover the queue");
+    assert_eq!(
+        slowdowns.len(),
+        queue.len(),
+        "decision must cover the queue"
+    );
     let avg_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
     let min = slowdowns.iter().copied().fold(f64::INFINITY, f64::min);
     let max = slowdowns.iter().copied().fold(0.0f64, f64::max);
@@ -77,8 +81,7 @@ mod tests {
         let arch = GpuArch::a100();
         let suite = Suite::paper_suite(&arch);
         // A duration-matched complementary pair (CI + MI) plus a filler.
-        let queue =
-            JobQueue::from_names("t", &["bt_solver_A", "sp_solver_B", "kmeans"], &suite);
+        let queue = JobQueue::from_names("t", &["bt_solver_A", "sp_solver_B", "kmeans"], &suite);
         (suite, queue)
     }
 

@@ -9,7 +9,7 @@
 use crate::metrics::{evaluate_decision, QueueMetrics};
 use crate::policies::{Policy, ScheduleContext};
 use hrp_gpusim::engine::EngineConfig;
-use hrp_profile::{Profiler, ProfileRepository};
+use hrp_profile::{ProfileRepository, Profiler};
 use hrp_workloads::{Job, JobQueue, Suite};
 
 /// One processed batch: either a profiling solo run or a scheduled
@@ -205,7 +205,11 @@ mod tests {
             .count();
         assert_eq!(windows, 1);
         // Second wave co-ran, so the whole session beats time sharing.
-        assert!(report.overall_gain() > 1.0, "gain {}", report.overall_gain());
+        assert!(
+            report.overall_gain() > 1.0,
+            "gain {}",
+            report.overall_gain()
+        );
     }
 
     #[test]

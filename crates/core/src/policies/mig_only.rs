@@ -56,12 +56,7 @@ mod tests {
         let d = MigOnly.schedule(&ctx);
         d.validate(&queue, 2, true).unwrap();
         let m = evaluate_decision("MIG", &suite, &queue, &d);
-        let ts = evaluate_decision(
-            "TS",
-            &suite,
-            &queue,
-            &TimeSharing.schedule(&ctx),
-        );
+        let ts = evaluate_decision("TS", &suite, &queue, &TimeSharing.schedule(&ctx));
         assert!(
             m.throughput > ts.throughput,
             "MIG-only {} ≤ TS {}",

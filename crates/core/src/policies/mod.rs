@@ -84,7 +84,14 @@ pub(crate) mod test_util {
         let suite = Suite::paper_suite(&arch);
         let queue = JobQueue::from_names(
             "small",
-            &["lavaMD", "stream", "kmeans", "pathfinder", "bt_solver_A", "lud_A"],
+            &[
+                "lavaMD",
+                "stream",
+                "kmeans",
+                "pathfinder",
+                "bt_solver_A",
+                "lud_A",
+            ],
             &suite,
         );
         (suite, queue)

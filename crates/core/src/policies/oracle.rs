@@ -12,7 +12,7 @@ use super::{Policy, ScheduleContext};
 use crate::actions::ActionCatalog;
 use crate::env::{CoScheduleEnv, EnvConfig};
 use crate::problem::ScheduleDecision;
-use hrp_profile::{FeatureScaler, Profiler, ProfileRepository};
+use hrp_profile::{FeatureScaler, ProfileRepository, Profiler};
 
 /// The oracle-greedy policy (upper reference for `MigMpsRl`).
 pub struct OracleGreedy {

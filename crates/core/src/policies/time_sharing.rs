@@ -19,7 +19,15 @@ impl Policy for TimeSharing {
         ScheduleDecision {
             groups: (0..ctx.queue.len())
                 .map(|j| {
-                    evaluate_group(ctx.suite, ctx.queue, &[j], &scheme, &[0], &arch, &ctx.engine)
+                    evaluate_group(
+                        ctx.suite,
+                        ctx.queue,
+                        &[j],
+                        &scheme,
+                        &[0],
+                        &arch,
+                        &ctx.engine,
+                    )
                 })
                 .collect(),
         }

@@ -95,10 +95,7 @@ pub fn reconstruct_app(name: &str, profile: &JobProfile, arch: &GpuArch) -> AppM
         .interference_sensitivity(sigma)
         .crowd_sensitivity(kappa)
         .solo_time(profile.solo_time)
-        .utilisation(
-            profile.counters.compute_sm_pct,
-            profile.counters.memory_pct,
-        )
+        .utilisation(profile.counters.compute_sm_pct, profile.counters.memory_pct)
         .build()
 }
 

@@ -228,15 +228,19 @@ mod tests {
             &arch,
             &eng,
         );
-        assert!(g.beats_time_sharing(), "corun {} vs solo {}", g.corun_time, g.solo_time);
+        assert!(
+            g.beats_time_sharing(),
+            "corun {} vs solo {}",
+            g.corun_time,
+            g.solo_time
+        );
     }
 
     #[test]
     fn best_assignment_picks_the_right_orientation() {
         let (suite, queue, arch, eng) = setup();
         let scheme = PartitionScheme::mps_only(vec![0.2, 0.8]);
-        let best =
-            evaluate_group_best_assignment(&suite, &queue, &[0, 1], &scheme, &arch, &eng);
+        let best = evaluate_group_best_assignment(&suite, &queue, &[0, 1], &scheme, &arch, &eng);
         // bt_solver_A (job 0, CI) must land on the 0.8 slot (slot 1).
         let ci_pos = best.job_ids.iter().position(|&j| j == 0).unwrap();
         assert_eq!(best.assignment[ci_pos], 1);

@@ -1,19 +1,50 @@
-//! Offline training (paper Fig. 7, left half).
+//! Offline training (paper Fig. 7, left half) as a **parallel
+//! rollout/learner pipeline**.
 //!
 //! The paper trains the dueling double DQN by repeatedly co-running job
 //! mixes drawn from 20 random queues of the 18 *seen* programs, updating
 //! the network from the measured rewards. Training happens once per
 //! system; the frozen agent is then used online (ε = 0).
+//!
+//! # Architecture
+//!
+//! Training proceeds in fixed-size **rounds** of
+//! [`TrainConfig::rollout_round`] episodes:
+//!
+//! 1. the learner freezes a snapshot of the online network's weights;
+//! 2. up to [`TrainConfig::n_workers`] rollout workers
+//!    (`std::thread::scope`) claim the round's episodes from an atomic
+//!    queue and step [`CoScheduleEnv`] episodes against the frozen
+//!    snapshot, each with an **independent RNG stream seeded from
+//!    `(seed, episode)`**, streaming finished episodes through an mpsc
+//!    channel;
+//! 3. the single learner thread consumes episodes **in episode order**
+//!    (buffering out-of-order arrivals), pushes their transitions into
+//!    replay, and runs two batched gradient steps per environment step —
+//!    overlapping with the workers still rolling the rest of the round.
+//!
+//! Because every episode's rollout depends only on the round snapshot
+//! and its own seed, and the learner consumes in a fixed order, the
+//! trained weights are **bit-identical for any worker count**: worker
+//! parallelism is an execution detail, not a semantic knob. This is the
+//! property the `training_invariant_to_worker_count` test pins down.
 
 use crate::actions::ActionCatalog;
 use crate::env::{CoScheduleEnv, EnvConfig, JOB_FEATURES};
+use crate::par::resolve_threads;
 use crate::problem::ScheduleDecision;
 use hrp_gpusim::engine::EngineConfig;
+use hrp_nn::dqn::epsilon_greedy_action;
 use hrp_nn::net::Head;
 use hrp_nn::replay::Transition;
-use hrp_nn::{DqnAgent, DqnConfig, EpsilonSchedule};
-use hrp_profile::{FeatureScaler, Profiler, ProfileRepository};
+use hrp_nn::{DqnAgent, DqnConfig, EpsilonSchedule, QNet};
+use hrp_profile::{FeatureScaler, ProfileRepository, Profiler};
 use hrp_workloads::{JobQueue, QueueGenerator, Suite};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +85,13 @@ pub struct TrainConfig {
     pub engine: EngineConfig,
     /// Final ε of the exploration schedule (paper: 0.01).
     pub eps_end: f64,
+    /// Rollout worker threads (`0` = available parallelism). Changes
+    /// wall-clock only — results are identical for any value.
+    pub n_workers: usize,
+    /// Episodes rolled out against one weight snapshot. Part of the
+    /// training semantics (unlike `n_workers`): it bounds both policy
+    /// staleness and the worker parallelism usable per round.
+    pub rollout_round: usize,
 }
 
 impl TrainConfig {
@@ -85,6 +123,8 @@ impl TrainConfig {
             rf_weight: 0.05,
             engine: EngineConfig::default(),
             eps_end: 0.01,
+            n_workers: 0,
+            rollout_round: 8,
         }
     }
 
@@ -140,9 +180,18 @@ impl TrainedAgent {
     ) -> ScheduleDecision {
         let mut env_cfg = self.cfg.env_config();
         env_cfg.engine = engine.clone();
-        let mut env = CoScheduleEnv::new(suite, queue, &self.repo, &self.scaler, &self.catalog, env_cfg);
+        let mut env = CoScheduleEnv::new(
+            suite,
+            queue,
+            &self.repo,
+            &self.scaler,
+            &self.catalog,
+            env_cfg,
+        );
+        let mut state = Vec::new();
         while !env.done() {
-            let action = self.agent.greedy_action(&env.state(), env.valid_mask());
+            env.state_into(&mut state);
+            let action = self.agent.greedy_action(&state, env.valid_mask());
             env.step(action);
         }
         env.into_decision()
@@ -176,7 +225,69 @@ pub struct TrainReport {
     pub late_rf: f64,
 }
 
+/// A completed rollout, queued for the learner.
+struct EpisodeResult {
+    transitions: Vec<Transition>,
+    ep_return: f64,
+    rfs: Vec<f64>,
+}
+
+/// Per-episode RNG stream: independent of worker count and of every
+/// other episode.
+fn episode_rng(seed: u64, episode: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(episode as u64 + 1))
+}
+
+/// Roll one episode against a frozen policy snapshot.
+#[allow(clippy::too_many_arguments)]
+fn rollout_episode(
+    suite: &Suite,
+    queue: &JobQueue,
+    repo: &ProfileRepository,
+    scaler: &FeatureScaler,
+    catalog: &ActionCatalog,
+    env_cfg: EnvConfig,
+    snapshot: &QNet,
+    eps: &EpsilonSchedule,
+    base_step: u64,
+    mut rng: SmallRng,
+) -> EpisodeResult {
+    let n_actions = catalog.len();
+    let mut env = CoScheduleEnv::new(suite, queue, repo, scaler, catalog, env_cfg);
+    let mut state = Vec::new();
+    let mut transitions = Vec::new();
+    let mut rfs = Vec::new();
+    let mut ep_return = 0.0;
+    let mut local_step = 0u64;
+    while !env.done() {
+        env.state_into(&mut state);
+        let mask = env.valid_mask();
+        let epsilon = eps.value(base_step + local_step);
+        let action = epsilon_greedy_action(snapshot, &state, mask, n_actions, epsilon, &mut rng);
+        let out = env.step(action);
+        ep_return += out.reward;
+        rfs.push(out.rf);
+        transitions.push(Transition {
+            state: state.clone(),
+            action,
+            reward: out.reward as f32,
+            next_state: env.state(),
+            done: out.done,
+            next_mask: env.valid_mask(),
+        });
+        local_step += 1;
+    }
+    EpisodeResult {
+        transitions,
+        ep_return,
+        rfs,
+    }
+}
+
 /// Run offline training.
+///
+/// # Panics
+/// Panics if a rollout worker panics (environment invariant violation).
 #[must_use]
 pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
     let arch = suite.arch().clone();
@@ -199,10 +310,26 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
         buffer_capacity: cfg.buffer_capacity,
         huber_delta: 1.0,
         double: cfg.double,
-        head: if cfg.dueling { Head::Dueling } else { Head::Plain },
+        head: if cfg.dueling {
+            Head::Dueling
+        } else {
+            Head::Plain
+        },
         seed: cfg.seed,
     };
     let mut agent = DqnAgent::new(dqn_cfg);
+    // The frozen policy the round's workers act against.
+    let mut snapshot = QNet::new(
+        cfg.w * JOB_FEATURES,
+        &cfg.hidden,
+        catalog.len(),
+        if cfg.dueling {
+            Head::Dueling
+        } else {
+            Head::Plain
+        },
+        cfg.seed,
+    );
 
     // ε decays over the first ~half of the expected steps, leaving the
     // rest for near-greedy fine-tuning.
@@ -213,35 +340,84 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
         decay_steps: expected_steps / 2,
     };
 
+    let round_len_cfg = cfg.rollout_round.max(1);
+    let workers = resolve_threads(cfg.n_workers);
     let mut step_count = 0u64;
     let mut returns = Vec::with_capacity(cfg.episodes);
     let mut rf_hist = Vec::new();
-    for ep in 0..cfg.episodes {
-        let queue = &queues[ep % queues.len()];
-        let mut env = CoScheduleEnv::new(suite, queue, &repo, &scaler, &catalog, cfg.env_config());
-        let mut ep_return = 0.0;
-        while !env.done() {
-            let state = env.state();
-            let mask = env.valid_mask();
-            let action = agent.select_action(&state, mask, eps.value(step_count));
-            let out = env.step(action);
-            ep_return += out.reward;
-            rf_hist.push((ep, out.rf));
-            agent.remember(Transition {
-                state,
-                action,
-                reward: out.reward as f32,
-                next_state: env.state(),
-                done: out.done,
-                next_mask: env.valid_mask(),
-            });
-            // Two gradient steps per environment step: co-runs are
-            // expensive to "measure", gradients are cheap.
-            agent.learn();
-            agent.learn();
-            step_count += 1;
-        }
-        returns.push(ep_return);
+
+    let mut round_start = 0usize;
+    while round_start < cfg.episodes {
+        let round_len = round_len_cfg.min(cfg.episodes - round_start);
+        snapshot.copy_weights_from(agent.online_net());
+        let base_step = step_count;
+        let next_episode = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, EpisodeResult)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(round_len) {
+                let tx = tx.clone();
+                let next_episode = &next_episode;
+                let snapshot = &snapshot;
+                let queues = &queues;
+                let repo = &repo;
+                let scaler = &scaler;
+                let catalog = &catalog;
+                let eps = &eps;
+                let env_cfg = cfg.env_config();
+                let seed = cfg.seed;
+                scope.spawn(move || loop {
+                    let k = next_episode.fetch_add(1, Ordering::Relaxed);
+                    if k >= round_len {
+                        break;
+                    }
+                    let ep = round_start + k;
+                    let result = rollout_episode(
+                        suite,
+                        &queues[ep % queues.len()],
+                        repo,
+                        scaler,
+                        catalog,
+                        env_cfg.clone(),
+                        snapshot,
+                        eps,
+                        base_step,
+                        episode_rng(seed, ep),
+                    );
+                    // The learner outlives the workers inside this
+                    // scope, so the send only fails on learner panic.
+                    let _ = tx.send((ep, result));
+                });
+            }
+            drop(tx);
+
+            // The learner: consume episodes in episode order, buffering
+            // any that finish early, and train while later episodes of
+            // the round are still rolling.
+            let mut stash: BTreeMap<usize, EpisodeResult> = BTreeMap::new();
+            let mut next_to_learn = round_start;
+            for (ep, result) in rx {
+                stash.insert(ep, result);
+                while let Some(result) = stash.remove(&next_to_learn) {
+                    for (t, rf) in result.transitions.into_iter().zip(result.rfs) {
+                        rf_hist.push((next_to_learn, rf));
+                        agent.remember(t);
+                        // Two gradient steps per environment step:
+                        // co-runs are expensive to "measure", batched
+                        // gradients are cheap.
+                        agent.learn();
+                        agent.learn();
+                        step_count += 1;
+                    }
+                    returns.push(result.ep_return);
+                    next_to_learn += 1;
+                }
+            }
+            assert!(stash.is_empty(), "rollout worker lost an episode");
+            assert_eq!(next_to_learn, round_start + round_len);
+        });
+
+        round_start += round_len;
     }
 
     let tenth = (cfg.episodes / 10).max(1);
@@ -327,5 +503,26 @@ mod tests {
         let (_, r1) = train(&suite, cfg.clone());
         let (_, r2) = train(&suite, cfg);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn training_invariant_to_worker_count() {
+        // The rollout/learner pipeline must produce bit-identical
+        // results for any worker count: parallelism is an execution
+        // detail, not a semantic knob.
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let mut cfg = TrainConfig::quick();
+        cfg.episodes = 16;
+        cfg.n_workers = 1;
+        let (trained_1, r1) = train(&suite, cfg.clone());
+        cfg.n_workers = 4;
+        let (trained_4, r4) = train(&suite, cfg);
+        assert_eq!(r1, r4, "reports must match across worker counts");
+        let probe = vec![0.25f32; trained_1.config().w * JOB_FEATURES];
+        assert_eq!(
+            trained_1.dqn().q_values(&probe),
+            trained_4.dqn().q_values(&probe),
+            "weights must match across worker counts"
+        );
     }
 }

@@ -131,10 +131,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Partition(e) => write!(f, "partition error: {e}"),
-            Self::AssignmentMismatch { apps, assignments } => write!(
-                f,
-                "{apps} applications but {assignments} slot assignments"
-            ),
+            Self::AssignmentMismatch { apps, assignments } => {
+                write!(f, "{apps} applications but {assignments} slot assignments")
+            }
             Self::BadSlot(i) => write!(f, "slot index {i} out of range"),
             Self::SlotCollision(i) => write!(f, "two applications assigned to slot {i}"),
         }

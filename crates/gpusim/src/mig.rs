@@ -195,11 +195,7 @@ impl MigConfig {
     /// the 3g at start 4). Returns an error if the multiset cannot be
     /// placed at all — e.g. `[G3, G3, G1]` on an A100.
     pub fn from_profiles(profiles: &[GiProfile]) -> Result<Self, PartitionError> {
-        fn place(
-            rest: &[GiProfile],
-            occupied: &mut [bool; 7],
-            acc: &mut Vec<GiPlacement>,
-        ) -> bool {
+        fn place(rest: &[GiProfile], occupied: &mut [bool; 7], acc: &mut Vec<GiPlacement>) -> bool {
             let Some((&prof, rest)) = rest.split_first() else {
                 return true;
             };
@@ -375,13 +371,9 @@ mod tests {
         assert_eq!(GiProfile::from_slices(5), None);
         assert_eq!(GiProfile::from_slices(6), None);
         // Two 3g and a 4g cannot coexist (regions collide).
-        assert!(
-            MigConfig::from_profiles(&[GiProfile::G3, GiProfile::G3, GiProfile::G4]).is_err()
-        );
+        assert!(MigConfig::from_profiles(&[GiProfile::G3, GiProfile::G3, GiProfile::G4]).is_err());
         // 3g + 3g + 1g is unplaceable: both 3g regions block all slices.
-        assert!(
-            MigConfig::from_profiles(&[GiProfile::G3, GiProfile::G3, GiProfile::G1]).is_err()
-        );
+        assert!(MigConfig::from_profiles(&[GiProfile::G3, GiProfile::G3, GiProfile::G1]).is_err());
     }
 
     #[test]
@@ -446,11 +438,9 @@ mod tests {
         assert!(maximal.contains(&vec![GiProfile::G4, GiProfile::G3]));
         assert!(maximal.contains(&vec![GiProfile::G3, GiProfile::G3]));
         assert!(maximal.contains(&vec![GiProfile::G1; 7]));
-        assert!(!maximal.iter().any(|c| c
+        assert!(!maximal
             .iter()
-            .map(|p| p.compute_slices())
-            .sum::<u32>()
-            > 7));
+            .any(|c| c.iter().map(|p| p.compute_slices()).sum::<u32>() > 7));
     }
 
     #[test]

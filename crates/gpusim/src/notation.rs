@@ -331,10 +331,7 @@ mod tests {
             "[{0.375},0.5m]+[{0.5},0.5m]"
         );
         assert_eq!(
-            format_scheme(&PartitionScheme::hierarchical_3_4(
-                vec![],
-                vec![0.1, 0.9]
-            )),
+            format_scheme(&PartitionScheme::hierarchical_3_4(vec![], vec![0.1, 0.9])),
             "[{0.375},0.5m]+[(0.1)+(0.9){0.5},0.5m]"
         );
     }
@@ -405,9 +402,15 @@ mod tests {
         assert!(parse_scheme("[(0.5)+(0.5)]").is_err(), "missing memory");
         assert!(parse_scheme("[(0.5)+(0.5),2m]").is_err(), "mem > 1");
         assert!(parse_scheme("[{0.4},0.5m]").is_err(), "0.4 not k/8");
-        assert!(parse_scheme("[(0.5)+(0.5),0.5m]").is_err(), "loose MPS w/ partial mem");
+        assert!(
+            parse_scheme("[(0.5)+(0.5),0.5m]").is_err(),
+            "loose MPS w/ partial mem"
+        );
         assert!(parse_scheme("[(0.5)+(0.5),1m] trailing").is_err());
-        assert!(parse_scheme("[{0.875}+{0.125},0.5m]").is_err(), "CI overflow");
+        assert!(
+            parse_scheme("[{0.875}+{0.125},0.5m]").is_err(),
+            "CI overflow"
+        );
     }
 
     #[test]

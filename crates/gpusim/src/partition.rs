@@ -364,7 +364,9 @@ mod tests {
 
     #[test]
     fn mps_only_compiles_to_single_domain() {
-        let p = PartitionScheme::mps_only(vec![0.3, 0.7]).compile(&a100()).unwrap();
+        let p = PartitionScheme::mps_only(vec![0.3, 0.7])
+            .compile(&a100())
+            .unwrap();
         assert_eq!(p.domains.len(), 1);
         assert_eq!(p.slots.len(), 2);
         assert!(!p.mig_enabled);

@@ -287,8 +287,7 @@ mod tests {
             vec![0.5, 0.5],
             vec![0.3, 0.7],
         ));
-        let occ: Vec<(&AppModel, usize)> =
-            apps.iter().enumerate().map(|(i, a)| (a, i)).collect();
+        let occ: Vec<(&AppModel, usize)> = apps.iter().enumerate().map(|(i, a)| (a, i)).collect();
         for r in corun_rates(&occ, &part) {
             assert!(r > 0.0 && r <= 1.0 + 1e-9, "rate {r}");
         }
@@ -330,8 +329,7 @@ mod tests {
                 .build()
         };
         let apps = [mk("a"), mk("b"), mk("c"), mk("d")];
-        let occ: Vec<(&AppModel, usize)> =
-            apps.iter().enumerate().map(|(i, a)| (a, i)).collect();
+        let occ: Vec<(&AppModel, usize)> = apps.iter().enumerate().map(|(i, a)| (a, i)).collect();
 
         let one_domain = compile(PartitionScheme::mps_only(vec![0.25; 4]));
         let r1 = corun_rates(&occ, &one_domain);

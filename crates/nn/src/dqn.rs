@@ -1,11 +1,20 @@
 //! The DQN agent: ε-greedy behaviour policy, double-DQN targets, Huber
 //! loss, and periodic target-network synchronisation — the configuration
 //! of the paper's §IV-D / Table VI.
+//!
+//! A learning step runs the **whole minibatch as batched ops**: one
+//! contiguous sample ([`MiniBatch`]), one batched forward over the
+//! online and target networks for the double-DQN targets, one batched
+//! forward/backward for the TD error, one Adam update. The legacy
+//! per-sample path is kept as [`DqnAgent::learn_per_sample`] — it draws
+//! the same minibatch for the same RNG state and produces the same
+//! weights to within float accumulation error, which the equivalence
+//! tests pin down; the benchmarks measure the gap between the two.
 
 use crate::net::{Head, QNet};
 use crate::opt::Adam;
-use crate::replay::{ReplayBuffer, Transition};
-use crate::tensor::masked_argmax;
+use crate::replay::{MiniBatch, ReplayBuffer, Transition};
+use crate::tensor::{masked_argmax, masked_argmax_batch, masked_argmax_tiebreak};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +68,46 @@ impl DqnConfig {
     }
 }
 
+/// Huber loss and its derivative at error `err`.
+#[inline]
+fn huber(err: f32, delta: f32) -> (f32, f32) {
+    if err.abs() <= delta {
+        (0.5 * err * err, err)
+    } else {
+        (delta * (err.abs() - 0.5 * delta), delta * err.signum())
+    }
+}
+
+/// ε-greedy action from a Q-network: explore uniformly over the
+/// `mask`'s valid bits with probability `epsilon`, otherwise exploit
+/// with exact-tie breaking drawn from `rng` (not iteration order, which
+/// would bias exploration toward low-numbered actions).
+///
+/// This is the single source of behaviour-policy truth: the agent's own
+/// [`DqnAgent::select_action`] and the rollout workers acting against a
+/// frozen snapshot both call it, so training rollouts and the deployed
+/// agent can never silently diverge.
+///
+/// # Panics
+/// Panics if the mask has no valid action.
+pub fn epsilon_greedy_action(
+    net: &QNet,
+    state: &[f32],
+    mask: u64,
+    n_actions: usize,
+    epsilon: f64,
+    rng: &mut SmallRng,
+) -> usize {
+    assert!(mask != 0, "no valid action");
+    if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+        let valid: Vec<usize> = (0..n_actions).filter(|&a| mask & (1 << a) != 0).collect();
+        valid[rng.gen_range(0..valid.len())]
+    } else {
+        let q = net.predict(state);
+        masked_argmax_tiebreak(&q, |a| mask & (1 << a) != 0, rng).expect("mask checked non-empty")
+    }
+}
+
 /// A dueling double-DQN agent.
 pub struct DqnAgent {
     cfg: DqnConfig,
@@ -70,6 +119,14 @@ pub struct DqnAgent {
     learn_steps: u64,
     grad_buf: Vec<f32>,
     delta_buf: Vec<f32>,
+    /// Reusable batched-learning scratch.
+    minibatch: MiniBatch,
+    q_next_online: Vec<f32>,
+    q_next_target: Vec<f32>,
+    q_pred: Vec<f32>,
+    targets: Vec<f32>,
+    dq: Vec<f32>,
+    a_star: Vec<Option<usize>>,
 }
 
 impl DqnAgent {
@@ -104,6 +161,13 @@ impl DqnAgent {
             learn_steps: 0,
             grad_buf: Vec::new(),
             delta_buf: Vec::new(),
+            minibatch: MiniBatch::new(),
+            q_next_online: Vec::new(),
+            q_next_target: Vec::new(),
+            q_pred: Vec::new(),
+            targets: Vec::new(),
+            dq: Vec::new(),
+            a_star: Vec::new(),
         }
     }
 
@@ -119,24 +183,24 @@ impl DqnAgent {
         self.online.predict(state)
     }
 
-    /// ε-greedy action among the `mask`'s valid bits.
+    /// ε-greedy action among the `mask`'s valid bits (see
+    /// [`epsilon_greedy_action`]), drawing from the agent RNG stream.
     ///
     /// # Panics
     /// Panics if the mask has no valid action.
     pub fn select_action(&mut self, state: &[f32], mask: u64, epsilon: f64) -> usize {
-        assert!(mask != 0, "no valid action");
-        if self.rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
-            let valid: Vec<usize> = (0..self.cfg.n_actions)
-                .filter(|&a| mask & (1 << a) != 0)
-                .collect();
-            valid[self.rng.gen_range(0..valid.len())]
-        } else {
-            let q = self.online.predict(state);
-            masked_argmax(&q, |a| mask & (1 << a) != 0).expect("mask checked non-empty")
-        }
+        epsilon_greedy_action(
+            &self.online,
+            state,
+            mask,
+            self.cfg.n_actions,
+            epsilon,
+            &mut self.rng,
+        )
     }
 
-    /// Greedy (ε = 0) action — the online-phase policy.
+    /// Greedy (ε = 0) action — the online-phase policy. Deterministic:
+    /// ties break to the lowest index.
     #[must_use]
     pub fn greedy_action(&self, state: &[f32], mask: u64) -> usize {
         let q = self.online.predict(state);
@@ -155,10 +219,83 @@ impl DqnAgent {
         self.buffer.len()
     }
 
-    /// One learning step (a mini-batch of SGD on the TD error). Returns
-    /// the mean Huber loss, or `None` when the buffer is still smaller
-    /// than the batch size.
+    /// One batched learning step (a mini-batch of SGD on the TD error).
+    /// Returns the mean Huber loss, or `None` when the buffer is still
+    /// smaller than the batch size.
     pub fn learn(&mut self) -> Option<f32> {
+        if self.buffer.len() < self.cfg.batch_size {
+            return None;
+        }
+        let b = self.cfg.batch_size;
+        let n = self.cfg.n_actions;
+        self.buffer
+            .sample_into(b, &mut self.rng, &mut self.minibatch);
+
+        // Bootstrap Q-values for the successor states, one batched pass
+        // per network. `forward_batch` (not `predict_batch`) reuses each
+        // layer's scratch; the online net's caches are re-established by
+        // the state forward below, before the backward needs them.
+        if self.cfg.double {
+            // Double DQN: the online net picks a* for every row at once,
+            // the target net evaluates it.
+            self.online
+                .forward_batch(&self.minibatch.next_states, b, &mut self.q_next_online);
+            masked_argmax_batch(
+                &self.q_next_online,
+                b,
+                n,
+                &self.minibatch.next_masks,
+                &mut self.a_star,
+            );
+        }
+        self.target
+            .forward_batch(&self.minibatch.next_states, b, &mut self.q_next_target);
+
+        self.targets.resize(b, 0.0);
+        for i in 0..b {
+            let y = if self.minibatch.dones[i] {
+                self.minibatch.rewards[i]
+            } else {
+                let mask = self.minibatch.next_masks[i];
+                let bootstrap = if self.cfg.double {
+                    let a_star = self.a_star[i].unwrap_or(0);
+                    self.q_next_target[i * n + a_star]
+                } else {
+                    let q_t = &self.q_next_target[i * n..(i + 1) * n];
+                    masked_argmax(q_t, |a| mask & (1 << a) != 0).map_or(0.0, |a| q_t[a])
+                };
+                self.minibatch.rewards[i] + self.cfg.gamma * bootstrap
+            };
+            self.targets[i] = y;
+        }
+
+        // One batched forward/backward over the whole minibatch.
+        self.online.zero_grad();
+        self.online
+            .forward_batch(&self.minibatch.states, b, &mut self.q_pred);
+        self.dq.clear();
+        self.dq.resize(b * n, 0.0);
+        let inv_n = 1.0 / b as f32;
+        let mut total_loss = 0.0f32;
+        for i in 0..b {
+            let a = self.minibatch.actions[i];
+            let err = self.q_pred[i * n + a] - self.targets[i];
+            let (loss, dloss) = huber(err, self.cfg.huber_delta);
+            total_loss += loss;
+            self.dq[i * n + a] = dloss * inv_n;
+        }
+        self.online.backward_batch(&self.dq, b);
+
+        self.finish_step();
+        Some(total_loss * inv_n)
+    }
+
+    /// The legacy per-sample learning step: the same minibatch (for the
+    /// same RNG state), targets, loss, and update as [`DqnAgent::learn`],
+    /// computed one sample at a time. Kept as the reference for the
+    /// batch/serial equivalence tests and the `nn_perf` benchmark
+    /// baseline.
+    pub fn learn_per_sample(&mut self) -> Option<f32> {
         if self.buffer.len() < self.cfg.batch_size {
             return None;
         }
@@ -175,15 +312,13 @@ impl DqnAgent {
                 t.reward
             } else {
                 let bootstrap = if self.cfg.double {
-                    // Double DQN: online net picks, target net evaluates.
                     let q_online = self.online.predict(&t.next_state);
-                    let a_star = masked_argmax(&q_online, |a| t.next_mask & (1 << a) != 0)
-                        .unwrap_or(0);
+                    let a_star =
+                        masked_argmax(&q_online, |a| t.next_mask & (1 << a) != 0).unwrap_or(0);
                     self.target.predict(&t.next_state)[a_star]
                 } else {
                     let q_t = self.target.predict(&t.next_state);
-                    masked_argmax(&q_t, |a| t.next_mask & (1 << a) != 0)
-                        .map_or(0.0, |a| q_t[a])
+                    masked_argmax(&q_t, |a| t.next_mask & (1 << a) != 0).map_or(0.0, |a| q_t[a])
                 };
                 t.reward + self.cfg.gamma * bootstrap
             };
@@ -196,18 +331,20 @@ impl DqnAgent {
         for (t, &y) in batch.iter().zip(targets.iter()) {
             let q = self.online.forward(&t.state);
             let err = q[t.action] - y;
-            let delta = self.cfg.huber_delta;
-            let (loss, dloss) = if err.abs() <= delta {
-                (0.5 * err * err, err)
-            } else {
-                (delta * (err.abs() - 0.5 * delta), delta * err.signum())
-            };
+            let (loss, dloss) = huber(err, self.cfg.huber_delta);
             total_loss += loss;
             let mut dq = vec![0.0f32; self.cfg.n_actions];
             dq[t.action] = dloss * inv_n;
             self.online.backward(&dq);
         }
 
+        self.finish_step();
+        Some(total_loss * inv_n)
+    }
+
+    /// Shared tail of a learning step: Adam update, step counter, and
+    /// periodic target sync.
+    fn finish_step(&mut self) {
         self.online.write_grads(&mut self.grad_buf);
         self.adam.step(&self.grad_buf, &mut self.delta_buf);
         self.online.apply_delta(&self.delta_buf);
@@ -216,7 +353,6 @@ impl DqnAgent {
         if self.learn_steps.is_multiple_of(self.cfg.target_sync_every) {
             self.target.copy_weights_from(&self.online);
         }
-        Some(total_loss * inv_n)
     }
 
     /// Learning steps taken.
@@ -309,8 +445,18 @@ mod tests {
         let agent = run_chain(DqnAgent::new(chain_cfg()), 300);
         let s0 = [1.0f32, 0.0];
         let s1 = [0.0f32, 1.0];
-        assert_eq!(agent.greedy_action(&s0, 0b11), 1, "q={:?}", agent.q_values(&s0));
-        assert_eq!(agent.greedy_action(&s1, 0b11), 0, "q={:?}", agent.q_values(&s1));
+        assert_eq!(
+            agent.greedy_action(&s0, 0b11),
+            1,
+            "q={:?}",
+            agent.q_values(&s0)
+        );
+        assert_eq!(
+            agent.greedy_action(&s1, 0b11),
+            0,
+            "q={:?}",
+            agent.q_values(&s1)
+        );
         // Q(s0, right) ≈ 1 + 0.9·2 = 2.8.
         let q = agent.q_values(&s0);
         assert!((q[1] - 2.8).abs() < 0.6, "Q(s0,1) = {}", q[1]);
@@ -382,5 +528,66 @@ mod tests {
         let a = run_chain(DqnAgent::new(chain_cfg()), 50);
         let b = run_chain(DqnAgent::new(chain_cfg()), 50);
         assert_eq!(a.q_values(&[1.0, 0.0]), b.q_values(&[1.0, 0.0]));
+    }
+
+    fn filled_agents() -> (DqnAgent, DqnAgent) {
+        // Two identical agents with identical buffers and RNG states.
+        let mk = || {
+            let mut agent = DqnAgent::new(chain_cfg());
+            for i in 0..48 {
+                agent.remember(Transition {
+                    state: vec![(i % 5) as f32 * 0.2, 1.0 - (i % 3) as f32 * 0.3],
+                    action: i % 2,
+                    reward: (i % 7) as f32 * 0.5 - 1.0,
+                    next_state: vec![(i % 4) as f32 * 0.25, 0.1],
+                    done: i % 5 == 0,
+                    next_mask: 0b11,
+                });
+            }
+            agent
+        };
+        (mk(), mk())
+    }
+
+    #[test]
+    fn batched_learn_equals_per_sample_learn() {
+        let (mut batched, mut serial) = filled_agents();
+        for step in 0..10 {
+            let lb = batched.learn().unwrap();
+            let ls = serial.learn_per_sample().unwrap();
+            assert!(
+                (lb - ls).abs() < 1e-5,
+                "step {step}: loss batched {lb} vs per-sample {ls}"
+            );
+        }
+        let mut pb = Vec::new();
+        batched.online_net().write_params(&mut pb);
+        let mut ps = Vec::new();
+        serial.online_net().write_params(&mut ps);
+        for (i, (a, e)) in pb.iter().zip(ps.iter()).enumerate() {
+            assert!(
+                (a - e).abs() < 1e-5,
+                "param {i}: batched {a} vs per-sample {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_breaking_uses_agent_rng_stream() {
+        // A fresh dueling network with an all-zero state scores every
+        // action identically through the value head only when weights
+        // make them tie; instead force ties by zeroing the weights.
+        let mut agent = DqnAgent::new(chain_cfg());
+        let zeros = vec![0.0f32; agent.online_net().num_params()];
+        agent.load_weights(&zeros);
+        // With all-zero weights every Q-value is exactly 0 → a full tie.
+        let mut counts = [0usize; 2];
+        for _ in 0..400 {
+            counts[agent.select_action(&[0.3, 0.7], 0b11, 0.0)] += 1;
+        }
+        assert!(
+            counts[0] > 100 && counts[1] > 100,
+            "ties should split across actions, got {counts:?}"
+        );
     }
 }

@@ -1,12 +1,20 @@
 //! Layers with exact backpropagation: fully-connected (`Linear`) and
-//! `ReLU`. Each layer caches whatever its backward pass needs, so the
-//! calling convention is strictly `forward` then `backward`.
+//! `ReLU`, operating on minibatches in either row-major (`batch × n`)
+//! or batch-minor (`n × batch`, the `_tn` entry points) layout. Each
+//! layer caches whatever its backward pass needs in reusable scratch,
+//! so the calling convention is strictly forward then backward and a
+//! steady-state learning step allocates nothing. The per-sample
+//! `forward`/`backward` entry points are batch-size-1 fast paths that
+//! agree with the batched kernels within float accumulation error.
 
-use crate::tensor::{matvec, matvec_transpose, outer_accumulate};
+use crate::tensor::{
+    matmul_bias_tn, matmul_dw_accumulate, matmul_dx_tn, matvec, matvec_transpose, relu_backward,
+    relu_forward, transpose_into,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// A fully-connected layer `y = W·x + b` with gradient accumulation.
+/// A fully-connected layer `Y = X·Wᵀ + b` with gradient accumulation.
 #[derive(Debug, Clone)]
 pub struct Linear {
     /// Output dimension.
@@ -21,7 +29,17 @@ pub struct Linear {
     pub gw: Vec<f32>,
     /// Accumulated bias gradient.
     pub gb: Vec<f32>,
+    /// Cached forward input (`batch × cols`), reused across steps.
     x_cache: Vec<f32>,
+    /// Batch size of the cached input.
+    cached_batch: usize,
+    /// Layout-conversion scratch, reused across steps so a learning
+    /// step allocates nothing.
+    xt: Vec<f32>,
+    yt: Vec<f32>,
+    dyt: Vec<f32>,
+    dxt: Vec<f32>,
+    dy_bm: Vec<f32>,
 }
 
 impl Linear {
@@ -39,31 +57,179 @@ impl Linear {
             b: vec![0.0; rows],
             gw: vec![0.0; rows * cols],
             gb: vec![0.0; rows],
-            x_cache: vec![0.0; cols],
+            x_cache: Vec::new(),
+            cached_batch: 0,
+            xt: Vec::new(),
+            yt: Vec::new(),
+            dyt: Vec::new(),
+            dxt: Vec::new(),
+            dy_bm: Vec::new(),
         }
     }
 
-    /// Forward pass; caches the input for backprop.
+    /// Batched forward pass in batch-minor layout: `xt` is
+    /// `cols × batch`, `yt` becomes `rows × batch`. Caches the input
+    /// (batch-major, for the weight-gradient kernel) for backprop.
+    ///
+    /// The batch-minor entry points let a multi-layer network keep its
+    /// activations in one layout end-to-end — a layer's `yt` is the
+    /// next layer's `xt` — paying layout-conversion cost only at the
+    /// network boundary.
+    pub fn forward_batch_tn(&mut self, xt: &[f32], batch: usize, yt: &mut Vec<f32>) {
+        debug_assert_eq!(xt.len(), batch * self.cols);
+        transpose_into(xt, &mut self.x_cache, self.cols, batch);
+        self.cached_batch = batch;
+        matmul_bias_tn(&self.w, &self.b, xt, yt, batch, self.rows, self.cols);
+    }
+
+    /// Batch-minor forward without caching (inference only).
+    pub fn forward_inference_batch_tn(&self, xt: &[f32], batch: usize, yt: &mut Vec<f32>) {
+        debug_assert_eq!(xt.len(), batch * self.cols);
+        matmul_bias_tn(&self.w, &self.b, xt, yt, batch, self.rows, self.cols);
+    }
+
+    /// Batch-minor backward pass: `dyt` is `rows × batch`, `dxt`
+    /// becomes `cols × batch`; accumulates `gw`/`gb` over the batch.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `batch` differs from the cached forward's.
+    pub fn backward_batch_tn(&mut self, dyt: &[f32], batch: usize, dxt: &mut Vec<f32>) {
+        self.accumulate_grads_tn(dyt, batch);
+        matmul_dx_tn(&self.w, dyt, dxt, batch, self.rows, self.cols);
+    }
+
+    /// Batch-minor backward that only accumulates `gw`/`gb` (for the
+    /// network's first layer, whose input gradient nothing consumes).
+    pub fn backward_batch_tn_no_dx(&mut self, dyt: &[f32], batch: usize) {
+        self.accumulate_grads_tn(dyt, batch);
+    }
+
+    fn accumulate_grads_tn(&mut self, dyt: &[f32], batch: usize) {
+        debug_assert_eq!(batch, self.cached_batch, "backward batch mismatch");
+        debug_assert_eq!(dyt.len(), batch * self.rows);
+        transpose_into(dyt, &mut self.dy_bm, self.rows, batch);
+        matmul_dw_accumulate(
+            &mut self.gw,
+            &mut self.gb,
+            &self.dy_bm,
+            &self.x_cache,
+            batch,
+            self.rows,
+            self.cols,
+        );
+    }
+
+    /// Batched forward pass; caches the input matrix for backprop.
+    ///
+    /// `x` is `batch × cols`; `y` is resized to `batch × rows`. The
+    /// kernel runs in batch-minor layout (see [`matmul_bias_tn`]) with
+    /// the transposes landing in this layer's reusable scratch.
+    pub fn forward_batch(&mut self, x: &[f32], batch: usize, y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), batch * self.cols);
+        self.x_cache.clear();
+        self.x_cache.extend_from_slice(x);
+        self.cached_batch = batch;
+        if batch == 1 {
+            // Transposes are identity at batch 1; the plain row-major
+            // kernel has the same term order (modulo the batched
+            // kernel's four-wide grouping) and far less loop overhead.
+            y.resize(self.rows, 0.0);
+            matvec(&self.w, &self.b, x, y, self.rows, self.cols);
+            return;
+        }
+        transpose_into(x, &mut self.xt, batch, self.cols);
+        matmul_bias_tn(
+            &self.w,
+            &self.b,
+            &self.xt,
+            &mut self.yt,
+            batch,
+            self.rows,
+            self.cols,
+        );
+        transpose_into(&self.yt, y, self.rows, batch);
+    }
+
+    /// Batched forward pass without caching (inference only; allocates
+    /// its transposed scratch locally so it stays `&self`).
+    pub fn forward_inference_batch(&self, x: &[f32], batch: usize, y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), batch * self.cols);
+        if batch == 1 {
+            y.resize(self.rows, 0.0);
+            matvec(&self.w, &self.b, x, y, self.rows, self.cols);
+            return;
+        }
+        let mut xt = Vec::new();
+        transpose_into(x, &mut xt, batch, self.cols);
+        let mut yt = Vec::new();
+        matmul_bias_tn(&self.w, &self.b, &xt, &mut yt, batch, self.rows, self.cols);
+        transpose_into(&yt, y, self.rows, batch);
+    }
+
+    /// Batched backward pass: accumulates `gw`/`gb` over the whole
+    /// minibatch, writes the input gradient (`batch × cols`).
+    ///
+    /// # Panics
+    /// Panics (in debug) if `batch` differs from the cached forward's.
+    pub fn backward_batch(&mut self, dy: &[f32], batch: usize, dx: &mut Vec<f32>) {
+        debug_assert_eq!(batch, self.cached_batch, "backward batch mismatch");
+        debug_assert_eq!(dy.len(), batch * self.rows);
+        matmul_dw_accumulate(
+            &mut self.gw,
+            &mut self.gb,
+            dy,
+            &self.x_cache,
+            batch,
+            self.rows,
+            self.cols,
+        );
+        if batch == 1 {
+            dx.resize(self.cols, 0.0);
+            matvec_transpose(&self.w, dy, dx, self.rows, self.cols);
+            return;
+        }
+        transpose_into(dy, &mut self.dyt, batch, self.rows);
+        matmul_dx_tn(
+            &self.w,
+            &self.dyt,
+            &mut self.dxt,
+            batch,
+            self.rows,
+            self.cols,
+        );
+        transpose_into(&self.dxt, dx, self.cols, batch);
+    }
+
+    /// Batched backward pass that only accumulates `gw`/`gb`, skipping
+    /// the input-gradient GEMM — for the network's first layer, whose
+    /// input gradient (w.r.t. the state) nothing consumes.
+    pub fn backward_batch_no_dx(&mut self, dy: &[f32], batch: usize) {
+        debug_assert_eq!(batch, self.cached_batch, "backward batch mismatch");
+        debug_assert_eq!(dy.len(), batch * self.rows);
+        matmul_dw_accumulate(
+            &mut self.gw,
+            &mut self.gb,
+            dy,
+            &self.x_cache,
+            batch,
+            self.rows,
+            self.cols,
+        );
+    }
+
+    /// Forward pass for one sample; caches the input for backprop.
     pub fn forward(&mut self, x: &[f32], y: &mut Vec<f32>) {
-        y.resize(self.rows, 0.0);
-        self.x_cache.copy_from_slice(x);
-        matvec(&self.w, &self.b, x, y, self.rows, self.cols);
+        self.forward_batch(x, 1, y);
     }
 
-    /// Forward pass without caching (inference only).
+    /// Forward pass without caching (inference only, one sample).
     pub fn forward_inference(&self, x: &[f32], y: &mut Vec<f32>) {
-        y.resize(self.rows, 0.0);
-        matvec(&self.w, &self.b, x, y, self.rows, self.cols);
+        self.forward_inference_batch(x, 1, y);
     }
 
-    /// Backward pass: accumulates `gw`/`gb`, writes the input gradient.
+    /// Backward pass for one sample.
     pub fn backward(&mut self, dy: &[f32], dx: &mut Vec<f32>) {
-        dx.resize(self.cols, 0.0);
-        outer_accumulate(&mut self.gw, dy, &self.x_cache, self.rows, self.cols);
-        for (g, &d) in self.gb.iter_mut().zip(dy.iter()) {
-            *g += d;
-        }
-        matvec_transpose(&self.w, dy, dx, self.rows, self.cols);
+        self.backward_batch(dy, 1, dx);
     }
 
     /// Clear accumulated gradients.
@@ -80,6 +246,9 @@ impl Linear {
 }
 
 /// ReLU activation with a cached pass-through mask.
+///
+/// All entry points are length-agnostic: a `batch × n` matrix is masked
+/// lane-by-lane exactly like `batch` separate vectors.
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
     mask: Vec<bool>,
@@ -95,12 +264,7 @@ impl Relu {
     /// In-place forward; records which lanes were positive.
     pub fn forward(&mut self, x: &mut [f32]) {
         self.mask.resize(x.len(), false);
-        for (v, m) in x.iter_mut().zip(self.mask.iter_mut()) {
-            *m = *v > 0.0;
-            if !*m {
-                *v = 0.0;
-            }
-        }
+        relu_forward(x, &mut self.mask);
     }
 
     /// In-place forward without caching (inference only).
@@ -114,12 +278,7 @@ impl Relu {
 
     /// In-place backward using the cached mask.
     pub fn backward(&self, dy: &mut [f32]) {
-        debug_assert_eq!(dy.len(), self.mask.len());
-        for (d, &m) in dy.iter_mut().zip(self.mask.iter()) {
-            if !m {
-                *d = 0.0;
-            }
-        }
+        relu_backward(dy, &self.mask);
     }
 }
 
@@ -208,6 +367,48 @@ mod tests {
         l.backward(&[1.0, 1.0], &mut dx);
         for (a, b) in l.gb.iter().zip(first.iter()) {
             assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn batched_forward_backward_equals_per_sample_loop() {
+        // One batched step over B samples must produce the same outputs
+        // and the same accumulated gradients as B per-sample steps.
+        let (batch, rows, cols) = (5, 6, 4);
+        let mut batched = Linear::new(rows, cols, &mut rng());
+        let mut serial = batched.clone();
+        let mut data_rng = SmallRng::seed_from_u64(9);
+        let x: Vec<f32> = (0..batch * cols)
+            .map(|_| data_rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let dy: Vec<f32> = (0..batch * rows)
+            .map(|_| data_rng.gen_range(-1.0f32..1.0))
+            .collect();
+
+        let mut y_b = Vec::new();
+        let mut dx_b = Vec::new();
+        batched.zero_grad();
+        batched.forward_batch(&x, batch, &mut y_b);
+        batched.backward_batch(&dy, batch, &mut dx_b);
+
+        serial.zero_grad();
+        let mut y_s = Vec::new();
+        let mut dx_s = Vec::new();
+        for bi in 0..batch {
+            serial.forward(&x[bi * cols..(bi + 1) * cols], &mut y_s);
+            for (a, e) in y_b[bi * rows..(bi + 1) * rows].iter().zip(y_s.iter()) {
+                assert!((a - e).abs() < 1e-5, "y sample {bi}: {a} vs {e}");
+            }
+            serial.backward(&dy[bi * rows..(bi + 1) * rows], &mut dx_s);
+            for (a, e) in dx_b[bi * cols..(bi + 1) * cols].iter().zip(dx_s.iter()) {
+                assert!((a - e).abs() < 1e-5, "dx sample {bi}");
+            }
+        }
+        for (a, e) in batched.gw.iter().zip(serial.gw.iter()) {
+            assert!((a - e).abs() < 1e-5);
+        }
+        for (a, e) in batched.gb.iter().zip(serial.gb.iter()) {
+            assert!((a - e).abs() < 1e-5);
         }
     }
 

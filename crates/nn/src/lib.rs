@@ -6,18 +6,27 @@
 //! an A head (Table VI). No ML framework is available in this workspace,
 //! so this crate implements the needed pieces directly:
 //!
-//! * [`tensor`] — minimal dense row-major matrix/vector kernels;
-//! * [`layers`] — fully-connected layer and ReLU with exact backprop;
-//! * [`net`] — the Q-network: MLP trunk + plain or dueling head;
+//! * [`tensor`] — dense row-major kernels in per-sample and **batched**
+//!   (`B × n`) form; the batched GEMM-style kernels stream each weight
+//!   matrix once per minibatch instead of once per sample;
+//! * [`layers`] — fully-connected layer and ReLU with exact batched
+//!   backprop and per-layer reusable scratch;
+//! * [`net`] — the Q-network: MLP trunk + plain or dueling head, with
+//!   `forward_batch` / `predict_batch` / `backward_batch` as the primary
+//!   interface (single-sample calls are batch-size-1 wrappers);
 //! * [`opt`] — Adam (Kingma & Ba) over the flattened parameter vector;
-//! * [`replay`] — a ring replay buffer with action masking support;
+//! * [`replay`] — a ring replay buffer with action masking support and
+//!   contiguous-minibatch sampling ([`replay::MiniBatch`]);
 //! * [`schedule`] — the ε-greedy schedule (1 → 0.01 linear decay);
-//! * [`dqn`] — the agent: ε-greedy action selection, double-DQN targets,
-//!   Huber loss, periodic target-network sync;
+//! * [`dqn`] — the agent: ε-greedy action selection with RNG-stream tie
+//!   breaking, double-DQN targets, Huber loss, periodic target-network
+//!   sync; one `learn()` call runs the whole minibatch batched;
 //! * [`serialize`] — weight snapshots to/from bytes.
 //!
-//! Everything is deterministic for a fixed seed (`rand::SmallRng`), and
-//! the backprop code is validated against numerical gradients in tests.
+//! Everything is deterministic for a fixed seed (`rand::SmallRng`), the
+//! backprop code is validated against numerical gradients in tests, and
+//! the batched paths are pinned to the per-sample ones by equivalence
+//! tests (identical minibatch → weights equal within 1e-5).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,5 +43,5 @@ pub mod tensor;
 pub use dqn::{DqnAgent, DqnConfig};
 pub use net::{Head, QNet};
 pub use opt::Adam;
-pub use replay::{ReplayBuffer, Transition};
+pub use replay::{MiniBatch, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;

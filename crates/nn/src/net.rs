@@ -5,6 +5,13 @@
 //! With the dueling head the Q-values are assembled as
 //! `Q(s,a) = V(s) + A(s,a) − mean_a' A(s,a')` — subtracting the mean
 //! keeps V/A identifiable.
+//!
+//! Every pass is **batched**: buffers are `B × n` row-major and flow
+//! through [`QNet::forward_batch`] / [`QNet::backward_batch`] with
+//! per-layer reusable scratch, so one minibatch streams each weight
+//! matrix once instead of once per sample. The single-sample
+//! `forward`/`predict`/`backward` entry points are batch-size-1
+//! wrappers over the same kernels and numerically identical.
 
 use crate::layers::{Linear, Relu};
 use rand::rngs::SmallRng;
@@ -19,13 +26,23 @@ pub enum Head {
     Dueling,
 }
 
+/// Reusable scratch for the dueling head's batched passes.
+#[derive(Debug, Clone, Default)]
+struct DuelingScratch {
+    vout: Vec<f32>,
+    aout: Vec<f32>,
+    da: Vec<f32>,
+    dx_v: Vec<f32>,
+    dx_a: Vec<f32>,
+}
+
+#[allow(clippy::large_enum_variant)] // exactly one head lives per net
 enum HeadLayers {
     Plain(Linear),
     Dueling {
         v: Linear,
         a: Linear,
-        /// Cached advantage outputs for backward.
-        a_cache: Vec<f32>,
+        scratch: DuelingScratch,
     },
 }
 
@@ -34,18 +51,24 @@ pub struct QNet {
     trunk: Vec<(Linear, Relu)>,
     head: HeadLayers,
     n_actions: usize,
-    /// Scratch buffers reused across calls.
+    /// Ping-pong scratch buffers reused across calls.
     bufs: (Vec<f32>, Vec<f32>),
-    /// Cached trunk activations (input to each layer) — only the last
-    /// hidden activation is needed by the head backward, the rest live in
-    /// each layer's own cache.
+    /// Cached last hidden activation (`B × h`) for the head backward.
     last_hidden: Vec<f32>,
+    /// Batch size of the cached forward pass.
+    cached_batch: usize,
 }
 
 impl QNet {
     /// Build a network: `state_dim → hidden[0] → … → n_actions`.
     #[must_use]
-    pub fn new(state_dim: usize, hidden: &[usize], n_actions: usize, head: Head, seed: u64) -> Self {
+    pub fn new(
+        state_dim: usize,
+        hidden: &[usize],
+        n_actions: usize,
+        head: Head,
+        seed: u64,
+    ) -> Self {
         assert!(!hidden.is_empty(), "need at least one hidden layer");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut trunk = Vec::with_capacity(hidden.len());
@@ -59,7 +82,7 @@ impl QNet {
             Head::Dueling => HeadLayers::Dueling {
                 v: Linear::new(1, prev, &mut rng),
                 a: Linear::new(n_actions, prev, &mut rng),
-                a_cache: vec![0.0; n_actions],
+                scratch: DuelingScratch::default(),
             },
         };
         Self {
@@ -68,6 +91,7 @@ impl QNet {
             n_actions,
             bufs: (Vec::new(), Vec::new()),
             last_hidden: Vec::new(),
+            cached_batch: 0,
         }
     }
 
@@ -77,13 +101,45 @@ impl QNet {
         self.n_actions
     }
 
-    /// Forward pass with caching (call before [`QNet::backward`]).
-    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+    /// Batched forward pass with caching (call before
+    /// [`QNet::backward_batch`]). `x` is `batch × state_dim`; `out` is
+    /// resized to `batch × n_actions`.
+    ///
+    /// For `batch > 1` the activations flow in **batch-minor** layout
+    /// end-to-end (one transpose at entry, strided assembly at the
+    /// head) so every trunk GEMM runs its inner loop over independent
+    /// batch lanes; `batch == 1` takes the plain row-major path.
+    pub fn forward_batch(&mut self, x: &[f32], batch: usize, out: &mut Vec<f32>) {
+        self.cached_batch = batch;
+        let n = self.n_actions;
+        if batch == 1 {
+            let (cur, next) = (&mut self.bufs.0, &mut self.bufs.1);
+            cur.clear();
+            cur.extend_from_slice(x);
+            for (lin, relu) in &mut self.trunk {
+                lin.forward_batch(cur, 1, next);
+                relu.forward(next);
+                std::mem::swap(cur, next);
+            }
+            self.last_hidden.clear();
+            self.last_hidden.extend_from_slice(cur);
+            match &mut self.head {
+                HeadLayers::Plain(l) => l.forward_batch(cur, 1, out),
+                HeadLayers::Dueling { v, a, scratch } => {
+                    v.forward_batch(cur, 1, &mut scratch.vout);
+                    a.forward_batch(cur, 1, &mut scratch.aout);
+                    let mean = scratch.aout.iter().sum::<f32>() / n as f32;
+                    out.clear();
+                    out.extend(scratch.aout.iter().map(|ai| scratch.vout[0] + ai - mean));
+                }
+            }
+            return;
+        }
+        let state_dim = x.len() / batch;
         let (cur, next) = (&mut self.bufs.0, &mut self.bufs.1);
-        cur.clear();
-        cur.extend_from_slice(x);
+        crate::tensor::transpose_into(x, cur, batch, state_dim);
         for (lin, relu) in &mut self.trunk {
-            lin.forward(cur, next);
+            lin.forward_batch_tn(cur, batch, next);
             relu.forward(next);
             std::mem::swap(cur, next);
         }
@@ -91,84 +147,207 @@ impl QNet {
         self.last_hidden.extend_from_slice(cur);
         match &mut self.head {
             HeadLayers::Plain(l) => {
-                let mut q = Vec::new();
-                l.forward(cur, &mut q);
-                q
+                l.forward_batch_tn(cur, batch, next);
+                crate::tensor::transpose_into(next, out, n, batch);
             }
-            HeadLayers::Dueling { v, a, a_cache } => {
-                let mut vout = Vec::new();
-                v.forward(cur, &mut vout);
-                let mut aout = Vec::new();
-                a.forward(cur, &mut aout);
-                a_cache.clear();
-                a_cache.extend_from_slice(&aout);
-                let mean = aout.iter().sum::<f32>() / aout.len() as f32;
-                aout.iter().map(|ai| vout[0] + ai - mean).collect()
+            HeadLayers::Dueling { v, a, scratch } => {
+                v.forward_batch_tn(cur, batch, &mut scratch.vout);
+                a.forward_batch_tn(cur, batch, &mut scratch.aout);
+                // vout is 1 × batch; aout is n_actions × batch.
+                out.resize(batch * n, 0.0);
+                for b in 0..batch {
+                    let mut sum = 0.0f32;
+                    for ai in 0..n {
+                        sum += scratch.aout[ai * batch + b];
+                    }
+                    let mean = sum / n as f32;
+                    let vb = scratch.vout[b];
+                    for ai in 0..n {
+                        out[b * n + ai] = vb + scratch.aout[ai * batch + b] - mean;
+                    }
+                }
             }
         }
     }
 
-    /// Inference-only forward (no caches touched; usable on `&self`).
-    #[must_use]
-    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
+    /// Batched inference-only forward (no caches touched; usable on
+    /// `&self` from rollout workers sharing a snapshot).
+    pub fn predict_batch(&self, x: &[f32], batch: usize, out: &mut Vec<f32>) {
+        let n = self.n_actions;
+        if batch == 1 {
+            let mut cur = x.to_vec();
+            let mut next = Vec::new();
+            for (lin, _) in &self.trunk {
+                lin.forward_inference_batch(&cur, 1, &mut next);
+                Relu::forward_inference(&mut next);
+                std::mem::swap(&mut cur, &mut next);
+            }
+            match &self.head {
+                HeadLayers::Plain(l) => l.forward_inference_batch(&cur, 1, out),
+                HeadLayers::Dueling { v, a, .. } => {
+                    let mut vout = Vec::new();
+                    v.forward_inference_batch(&cur, 1, &mut vout);
+                    let mut aout = Vec::new();
+                    a.forward_inference_batch(&cur, 1, &mut aout);
+                    let mean = aout.iter().sum::<f32>() / n as f32;
+                    out.clear();
+                    out.extend(aout.iter().map(|ai| vout[0] + ai - mean));
+                }
+            }
+            return;
+        }
+        let state_dim = x.len() / batch;
+        let mut cur = Vec::new();
+        crate::tensor::transpose_into(x, &mut cur, batch, state_dim);
         let mut next = Vec::new();
         for (lin, _) in &self.trunk {
-            lin.forward_inference(&cur, &mut next);
+            lin.forward_inference_batch_tn(&cur, batch, &mut next);
             Relu::forward_inference(&mut next);
             std::mem::swap(&mut cur, &mut next);
         }
         match &self.head {
             HeadLayers::Plain(l) => {
-                let mut q = Vec::new();
-                l.forward_inference(&cur, &mut q);
-                q
+                l.forward_inference_batch_tn(&cur, batch, &mut next);
+                crate::tensor::transpose_into(&next, out, n, batch);
             }
             HeadLayers::Dueling { v, a, .. } => {
                 let mut vout = Vec::new();
-                v.forward_inference(&cur, &mut vout);
+                v.forward_inference_batch_tn(&cur, batch, &mut vout);
                 let mut aout = Vec::new();
-                a.forward_inference(&cur, &mut aout);
-                let mean = aout.iter().sum::<f32>() / aout.len() as f32;
-                aout.iter().map(|ai| vout[0] + ai - mean).collect()
+                a.forward_inference_batch_tn(&cur, batch, &mut aout);
+                out.resize(batch * n, 0.0);
+                for b in 0..batch {
+                    let mut sum = 0.0f32;
+                    for ai in 0..n {
+                        sum += aout[ai * batch + b];
+                    }
+                    let mean = sum / n as f32;
+                    for ai in 0..n {
+                        out[b * n + ai] = vout[b] + aout[ai * batch + b] - mean;
+                    }
+                }
             }
         }
     }
 
-    /// Backward pass from a Q-gradient; accumulates parameter gradients.
-    pub fn backward(&mut self, dq: &[f32]) {
-        assert_eq!(dq.len(), self.n_actions);
-        let mut dhidden = vec![0.0f32; self.last_hidden.len()];
+    /// Batched backward pass from a `batch × n_actions` Q-gradient;
+    /// accumulates parameter gradients over the whole minibatch.
+    ///
+    /// # Panics
+    /// Panics if `dq`'s shape disagrees with the cached forward pass.
+    pub fn backward_batch(&mut self, dq: &[f32], batch: usize) {
+        assert_eq!(batch, self.cached_batch, "backward batch mismatch");
+        assert_eq!(dq.len(), batch * self.n_actions);
+        let n = self.n_actions;
+        let hidden_len = self.last_hidden.len();
+        if batch == 1 {
+            let mut dhidden = vec![0.0f32; hidden_len];
+            match &mut self.head {
+                HeadLayers::Plain(l) => {
+                    let mut dx = Vec::new();
+                    l.backward_batch(dq, 1, &mut dx);
+                    dhidden.copy_from_slice(&dx);
+                }
+                HeadLayers::Dueling { v, a, scratch } => {
+                    let sum: f32 = dq.iter().sum();
+                    scratch.da.clear();
+                    scratch.da.extend(dq.iter().map(|d| d - sum / n as f32));
+                    v.backward_batch(&[sum], 1, &mut scratch.dx_v);
+                    a.backward_batch(&scratch.da, 1, &mut scratch.dx_a);
+                    for ((g, xv), xa) in dhidden
+                        .iter_mut()
+                        .zip(scratch.dx_v.iter())
+                        .zip(scratch.dx_a.iter())
+                    {
+                        *g = xv + xa;
+                    }
+                }
+            }
+            let (cur, next) = (&mut self.bufs.0, &mut self.bufs.1);
+            cur.clear();
+            cur.extend_from_slice(&dhidden);
+            for (i, (lin, relu)) in self.trunk.iter_mut().enumerate().rev() {
+                relu.backward(cur);
+                if i == 0 {
+                    lin.backward_batch_no_dx(cur, 1);
+                } else {
+                    lin.backward_batch(cur, 1, next);
+                    std::mem::swap(cur, next);
+                }
+            }
+            return;
+        }
+        // Batch-minor path: head gradients are assembled directly in
+        // `rows × batch` layout, the trunk backward stays in it.
+        let mut dhidden = vec![0.0f32; hidden_len];
         match &mut self.head {
             HeadLayers::Plain(l) => {
+                // Q_a = head output directly: dqt = dqᵀ.
+                crate::tensor::transpose_into(dq, &mut self.bufs.1, batch, n);
                 let mut dx = Vec::new();
-                l.backward(dq, &mut dx);
+                l.backward_batch_tn(&self.bufs.1, batch, &mut dx);
                 dhidden.copy_from_slice(&dx);
             }
-            HeadLayers::Dueling { v, a, .. } => {
+            HeadLayers::Dueling { v, a, scratch } => {
                 // Q_a = V + A_a − mean(A):
                 //   dV = Σ_a dQ_a
                 //   dA_k = dQ_k − (1/N)·Σ_a dQ_a
-                let sum: f32 = dq.iter().sum();
-                let n = dq.len() as f32;
-                let da: Vec<f32> = dq.iter().map(|d| d - sum / n).collect();
-                let mut dx_v = Vec::new();
-                v.backward(&[sum], &mut dx_v);
-                let mut dx_a = Vec::new();
-                a.backward(&da, &mut dx_a);
-                for ((h, xv), xa) in dhidden.iter_mut().zip(dx_v.iter()).zip(dx_a.iter()) {
-                    *h = xv + xa;
+                scratch.vout.resize(batch, 0.0);
+                scratch.da.clear();
+                scratch.da.resize(batch * n, 0.0);
+                for b in 0..batch {
+                    let dqb = &dq[b * n..(b + 1) * n];
+                    let sum: f32 = dqb.iter().sum();
+                    scratch.vout[b] = sum;
+                    for (ai, q) in dqb.iter().enumerate() {
+                        scratch.da[ai * batch + b] = q - sum / n as f32;
+                    }
+                }
+                v.backward_batch_tn(&scratch.vout, batch, &mut scratch.dx_v);
+                a.backward_batch_tn(&scratch.da, batch, &mut scratch.dx_a);
+                for ((g, xv), xa) in dhidden
+                    .iter_mut()
+                    .zip(scratch.dx_v.iter())
+                    .zip(scratch.dx_a.iter())
+                {
+                    *g = xv + xa;
                 }
             }
         }
         let (cur, next) = (&mut self.bufs.0, &mut self.bufs.1);
         cur.clear();
         cur.extend_from_slice(&dhidden);
-        for (lin, relu) in self.trunk.iter_mut().rev() {
+        for (i, (lin, relu)) in self.trunk.iter_mut().enumerate().rev() {
             relu.backward(cur);
-            lin.backward(cur, next);
-            std::mem::swap(cur, next);
+            if i == 0 {
+                // The first layer's input gradient is d/d(state): nothing
+                // consumes it, so skip that GEMM entirely.
+                lin.backward_batch_tn_no_dx(cur, batch);
+            } else {
+                lin.backward_batch_tn(cur, batch, next);
+                std::mem::swap(cur, next);
+            }
         }
+    }
+
+    /// Single-sample forward pass with caching (batch-size-1 wrapper).
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_batch(x, 1, &mut out);
+        out
+    }
+
+    /// Single-sample inference (no caches touched; usable on `&self`).
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.predict_batch(x, 1, &mut out);
+        out
+    }
+
+    /// Single-sample backward pass (batch-size-1 wrapper).
+    pub fn backward(&mut self, dq: &[f32]) {
+        self.backward_batch(dq, 1);
     }
 
     /// Zero all accumulated gradients.
@@ -255,14 +434,16 @@ impl QNet {
         assert_eq!(delta.len(), self.num_params());
         let mut off = 0;
         for l in self.layers_mut() {
-            for w in l.w.iter_mut() {
-                *w += delta[off];
-                off += 1;
+            let wlen = l.w.len();
+            for (w, d) in l.w.iter_mut().zip(&delta[off..off + wlen]) {
+                *w += d;
             }
-            for b in l.b.iter_mut() {
-                *b += delta[off];
-                off += 1;
+            off += wlen;
+            let blen = l.b.len();
+            for (b, d) in l.b.iter_mut().zip(&delta[off..off + blen]) {
+                *b += d;
             }
+            off += blen;
         }
     }
 
@@ -278,6 +459,7 @@ impl QNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
 
     fn tiny(head: Head) -> QNet {
         QNet::new(4, &[8, 6], 3, head, 42)
@@ -302,6 +484,73 @@ mod tests {
             let b = net.predict(&x);
             for (u, v) in a.iter().zip(b.iter()) {
                 assert!((u - v).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_both_heads() {
+        for head in [Head::Plain, Head::Dueling] {
+            let mut net = tiny(head);
+            let mut rng = SmallRng::seed_from_u64(5);
+            let batch = 7;
+            let x: Vec<f32> = (0..batch * 4)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
+            let mut q_batch = Vec::new();
+            net.forward_batch(&x, batch, &mut q_batch);
+            let mut p_batch = Vec::new();
+            net.predict_batch(&x, batch, &mut p_batch);
+            for b in 0..batch {
+                let q_one = net.predict(&x[b * 4..(b + 1) * 4]);
+                for a in 0..3 {
+                    assert!(
+                        (q_batch[b * 3 + a] - q_one[a]).abs() < 1e-6,
+                        "{head:?} forward_batch sample {b} action {a}"
+                    );
+                    assert!(
+                        (p_batch[b * 3 + a] - q_one[a]).abs() < 1e-6,
+                        "{head:?} predict_batch sample {b} action {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backward_equals_per_sample_accumulation() {
+        for head in [Head::Plain, Head::Dueling] {
+            let mut batched = tiny(head);
+            let mut serial = tiny(head);
+            let mut rng = SmallRng::seed_from_u64(6);
+            let batch = 5;
+            let x: Vec<f32> = (0..batch * 4)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
+            let dq: Vec<f32> = (0..batch * 3)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
+
+            let mut q = Vec::new();
+            batched.zero_grad();
+            batched.forward_batch(&x, batch, &mut q);
+            batched.backward_batch(&dq, batch);
+            let mut g_batched = Vec::new();
+            batched.write_grads(&mut g_batched);
+
+            serial.zero_grad();
+            for b in 0..batch {
+                serial.forward(&x[b * 4..(b + 1) * 4]);
+                serial.backward(&dq[b * 3..(b + 1) * 3]);
+            }
+            let mut g_serial = Vec::new();
+            serial.write_grads(&mut g_serial);
+
+            for (i, (a, e)) in g_batched.iter().zip(g_serial.iter()).enumerate() {
+                assert!(
+                    (a - e).abs() < 1e-5,
+                    "{head:?} grad {i}: batched {a} vs serial {e}"
+                );
             }
         }
     }

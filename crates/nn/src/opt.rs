@@ -39,13 +39,21 @@ impl Adam {
         delta.resize(grads.len(), 0.0);
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..grads.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let mhat = self.m[i] / b1t;
-            let vhat = self.v[i] / b2t;
-            delta[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+        let (beta1, beta2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        // Lock-step iterators (no index bounds checks) so the loop —
+        // including the sqrt and divide — vectorizes; this runs over
+        // every parameter on every learning step.
+        for (((d, &g), m), v) in delta
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let mhat = *m / b1t;
+            let vhat = *v / b2t;
+            *d = -lr * mhat / (vhat.sqrt() + eps);
         }
     }
 
@@ -79,7 +87,11 @@ mod tests {
         let mut adam = Adam::new(3, 0.05);
         let mut delta = Vec::new();
         for _ in 0..2000 {
-            let g: Vec<f32> = x.iter().zip(target.iter()).map(|(a, t)| 2.0 * (a - t)).collect();
+            let g: Vec<f32> = x
+                .iter()
+                .zip(target.iter())
+                .map(|(a, t)| 2.0 * (a - t))
+                .collect();
             adam.step(&g, &mut delta);
             for (xi, d) in x.iter_mut().zip(delta.iter()) {
                 *xi += d;

@@ -4,6 +4,14 @@
 //! (e.g. a 4-way partition is illegal when only two jobs remain), so each
 //! transition stores the valid-action bitmask of the successor state; the
 //! double-DQN target maximises only over valid actions.
+//!
+//! Sampling comes in two forms: [`ReplayBuffer::sample`] returns
+//! transition references (the legacy per-sample path), while
+//! [`ReplayBuffer::sample_into`] fills a pre-allocated [`MiniBatch`] —
+//! contiguous `B × state_dim` state/next-state matrices ready for the
+//! batched network kernels, with no per-step allocation. Both draw
+//! indices through the same routine, so for an identical RNG state they
+//! select the identical minibatch.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -24,6 +32,38 @@ pub struct Transition {
     /// Bitmask of valid actions in the successor state (bit `i` ⇒ action
     /// `i` legal). Ignored when `done`.
     pub next_mask: u64,
+}
+
+/// A sampled minibatch in contiguous batched layout: `states` and
+/// `next_states` are `len × state_dim` row-major matrices, the scalar
+/// fields are one entry per sample. All buffers are reused across
+/// [`ReplayBuffer::sample_into`] calls.
+#[derive(Debug, Clone, Default)]
+pub struct MiniBatch {
+    /// Sampled states, `len × state_dim`.
+    pub states: Vec<f32>,
+    /// Sampled successor states, `len × state_dim`.
+    pub next_states: Vec<f32>,
+    /// Action taken per sample.
+    pub actions: Vec<usize>,
+    /// Reward per sample.
+    pub rewards: Vec<f32>,
+    /// Terminal flag per sample.
+    pub dones: Vec<bool>,
+    /// Successor action mask per sample.
+    pub next_masks: Vec<u64>,
+    /// Number of samples.
+    pub len: usize,
+    /// State vector width.
+    pub state_dim: usize,
+}
+
+impl MiniBatch {
+    /// An empty minibatch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Fixed-capacity ring buffer of transitions.
@@ -68,12 +108,45 @@ impl ReplayBuffer {
         self.storage.is_empty()
     }
 
+    /// Draw `n` storage indices uniformly with replacement.
+    fn sample_index(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(0..self.storage.len())
+    }
+
     /// Sample `n` transitions uniformly with replacement.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut SmallRng) -> Vec<&'a Transition> {
         assert!(!self.is_empty(), "cannot sample an empty buffer");
         (0..n)
-            .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+            .map(|_| &self.storage[self.sample_index(rng)])
             .collect()
+    }
+
+    /// Sample `n` transitions uniformly with replacement into `batch`'s
+    /// pre-allocated contiguous matrices.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty or stored states disagree in width.
+    pub fn sample_into(&self, n: usize, rng: &mut SmallRng, batch: &mut MiniBatch) {
+        assert!(!self.is_empty(), "cannot sample an empty buffer");
+        let dim = self.storage[0].state.len();
+        batch.len = n;
+        batch.state_dim = dim;
+        batch.states.resize(n * dim, 0.0);
+        batch.next_states.resize(n * dim, 0.0);
+        batch.actions.resize(n, 0);
+        batch.rewards.resize(n, 0.0);
+        batch.dones.resize(n, false);
+        batch.next_masks.resize(n, 0);
+        for i in 0..n {
+            let t = &self.storage[self.sample_index(rng)];
+            assert_eq!(t.state.len(), dim, "inconsistent state width");
+            batch.states[i * dim..(i + 1) * dim].copy_from_slice(&t.state);
+            batch.next_states[i * dim..(i + 1) * dim].copy_from_slice(&t.next_state);
+            batch.actions[i] = t.action;
+            batch.rewards[i] = t.reward;
+            batch.dones[i] = t.done;
+            batch.next_masks[i] = t.next_mask;
+        }
     }
 }
 
@@ -132,6 +205,50 @@ mod tests {
         for &c in &counts {
             assert!(c > 700 && c < 1300, "count {c} far from uniform");
         }
+    }
+
+    #[test]
+    fn sample_into_matches_sample_for_same_rng_state() {
+        let mut buf = ReplayBuffer::new(16);
+        for i in 0..16 {
+            buf.push(Transition {
+                state: vec![i as f32, -(i as f32)],
+                action: i % 3,
+                reward: i as f32 * 0.5,
+                next_state: vec![i as f32 + 1.0, 0.0],
+                done: i % 4 == 0,
+                next_mask: 1 << (i % 5),
+            });
+        }
+        let mut rng_a = SmallRng::seed_from_u64(42);
+        let mut rng_b = SmallRng::seed_from_u64(42);
+        let refs = buf.sample(8, &mut rng_a);
+        let mut mb = MiniBatch::new();
+        buf.sample_into(8, &mut rng_b, &mut mb);
+        assert_eq!(mb.len, 8);
+        assert_eq!(mb.state_dim, 2);
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(&mb.states[i * 2..(i + 1) * 2], &r.state[..]);
+            assert_eq!(&mb.next_states[i * 2..(i + 1) * 2], &r.next_state[..]);
+            assert_eq!(mb.actions[i], r.action);
+            assert_eq!(mb.rewards[i], r.reward);
+            assert_eq!(mb.dones[i], r.done);
+            assert_eq!(mb.next_masks[i], r.next_mask);
+        }
+    }
+
+    #[test]
+    fn sample_into_reuses_buffers() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut mb = MiniBatch::new();
+        buf.sample_into(4, &mut rng, &mut mb);
+        let cap = mb.states.capacity();
+        buf.sample_into(4, &mut rng, &mut mb);
+        assert_eq!(mb.states.capacity(), cap, "no reallocation on reuse");
     }
 
     #[test]

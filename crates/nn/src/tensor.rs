@@ -1,8 +1,21 @@
-//! Minimal dense linear-algebra kernels (f32, row-major).
+//! Dense linear-algebra kernels (f32), in per-sample and batched form.
 //!
-//! The Q-network is small (≲ 300k parameters) and trained one sample at a
-//! time, so simple cache-friendly loops beat any heavyweight dependency.
-//! The three kernels below are the only ones the network needs.
+//! The Q-network is small (≲ 300k parameters), so simple cache-friendly
+//! loops beat any heavyweight dependency. The per-sample kernels
+//! ([`matvec`], [`matvec_transpose`], [`outer_accumulate`]) compute one
+//! serial dot product per output — a reduction strict FP cannot
+//! SIMD-vectorize. The batched kernels ([`matmul_bias_tn`],
+//! [`matmul_dx_tn`], [`matmul_dw_accumulate`]) instead run their inner
+//! loops over **independent batch lanes** in batch-minor layout (see
+//! [`transpose_into`]) with the reduction blocked four-wide, so they
+//! vectorize fully and stream each weight matrix once per minibatch
+//! instead of once per sample — the source of the batched learning
+//! step's speedup.
+//!
+//! Per output element the batched kernels accumulate in the same term
+//! order as the per-sample kernels (modulo the four-wide grouping), so
+//! batched and per-sample paths agree within float accumulation error
+//! (~1e-6 relative); the equivalence tests pin this down.
 
 /// `y = W·x + b` where `W` is `rows × cols` row-major.
 ///
@@ -16,12 +29,15 @@ pub fn matvec(w: &[f32], b: &[f32], x: &[f32], y: &mut [f32], rows: usize, cols:
     debug_assert_eq!(y.len(), rows);
     for (r, yr) in y.iter_mut().enumerate() {
         let row = &w[r * cols..(r + 1) * cols];
-        let mut acc = 0.0f32;
-        // Simple dot product; LLVM auto-vectorizes this loop.
+        // Bias first, then k ascending — the same per-element term
+        // order as [`matmul_bias_tn`] modulo its four-wide grouping, so
+        // the batch-1 fast path and the batched path agree within float
+        // accumulation error (~1e-6 relative), not bit-for-bit.
+        let mut acc = b[r];
         for (wi, xi) in row.iter().zip(x.iter()) {
             acc += wi * xi;
         }
-        *yr = acc + b[r];
+        *yr = acc;
     }
 }
 
@@ -60,6 +76,218 @@ pub fn outer_accumulate(gw: &mut [f32], dy: &[f32], x: &[f32], rows: usize, cols
     }
 }
 
+/// Transpose a `rows × cols` row-major matrix into `dst` (resized to
+/// `cols × rows`).
+///
+/// The batched layer kernels run their innermost loops over **batch
+/// lanes**: each lane is an independent sum, so the loop vectorizes
+/// without reassociating any per-element accumulation (a strict-FP f32
+/// dot product cannot be SIMD-reduced, but `B` independent dot products
+/// advancing in lockstep can). That requires batch-minor layout, hence
+/// these cheap `O(rows·cols)` transposes around the `O(rows·cols·B)`
+/// kernels.
+#[inline]
+pub fn transpose_into(src: &[f32], dst: &mut Vec<f32>, rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    dst.clear();
+    dst.resize(rows * cols, 0.0);
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+/// Batched affine map in batch-minor layout: `xt` is `cols × batch`
+/// (transposed input), `yt` becomes `rows × batch`, `W` is
+/// `rows × cols` row-major.
+///
+/// Per output element the terms accumulate in `k = 0, 1, …` order with
+/// the bias first, grouped four-wide — so per-sample and batched calls
+/// share the same term order but associate sums differently, agreeing
+/// within float accumulation error (~1e-6 relative) rather than
+/// bit-for-bit.
+#[inline]
+pub fn matmul_bias_tn(
+    w: &[f32],
+    b: &[f32],
+    xt: &[f32],
+    yt: &mut Vec<f32>,
+    batch: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(b.len(), rows);
+    debug_assert_eq!(xt.len(), batch * cols);
+    yt.clear();
+    yt.resize(batch * rows, 0.0);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let yr = &mut yt[r * batch..(r + 1) * batch];
+        yr.fill(b[r]);
+        // Block the reduction four-wide: one sweep of the output lanes
+        // per four inputs quarters the L1 load/store traffic. Lanes stay
+        // independent, so the loop still vectorizes across the batch.
+        let mut k = 0;
+        while k + 4 <= cols {
+            let (w0, w1, w2, w3) = (row[k], row[k + 1], row[k + 2], row[k + 3]);
+            let (x01, x23) = xt[k * batch..(k + 4) * batch].split_at(2 * batch);
+            let (x0, x1) = x01.split_at(batch);
+            let (x2, x3) = x23.split_at(batch);
+            for ((((y, &a0), &a1), &a2), &a3) in yr.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3) {
+                *y += w0 * a0 + w1 * a1 + w2 * a2 + w3 * a3;
+            }
+            k += 4;
+        }
+        while k < cols {
+            let wk = row[k];
+            let xk = &xt[k * batch..(k + 1) * batch];
+            for (y, &xv) in yr.iter_mut().zip(xk.iter()) {
+                *y += wk * xv;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Batched input gradient in batch-minor layout: `dyt` is
+/// `rows × batch`, `dxt` becomes `cols × batch`.
+///
+/// Accumulates over `r = 0, 1, …` for every lane — the same term order
+/// as [`matvec_transpose`] — while streaming `W` once per minibatch.
+#[inline]
+pub fn matmul_dx_tn(
+    w: &[f32],
+    dyt: &[f32],
+    dxt: &mut Vec<f32>,
+    batch: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(dyt.len(), batch * rows);
+    dxt.clear();
+    dxt.resize(batch * cols, 0.0);
+    // Block the reduction (rows) four-wide: one sweep of the input-grad
+    // lanes per four output rows.
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (row0, row1, row2, row3) = (
+            &w[r * cols..(r + 1) * cols],
+            &w[(r + 1) * cols..(r + 2) * cols],
+            &w[(r + 2) * cols..(r + 3) * cols],
+            &w[(r + 3) * cols..(r + 4) * cols],
+        );
+        let (d0, d1, d2, d3) = (
+            &dyt[r * batch..(r + 1) * batch],
+            &dyt[(r + 1) * batch..(r + 2) * batch],
+            &dyt[(r + 2) * batch..(r + 3) * batch],
+            &dyt[(r + 3) * batch..(r + 4) * batch],
+        );
+        for k in 0..cols {
+            let dst = &mut dxt[k * batch..(k + 1) * batch];
+            let (w0, w1, w2, w3) = (row0[k], row1[k], row2[k], row3[k]);
+            for ((((g, &a0), &a1), &a2), &a3) in dst.iter_mut().zip(d0).zip(d1).zip(d2).zip(d3) {
+                *g += w0 * a0 + w1 * a1 + w2 * a2 + w3 * a3;
+            }
+        }
+        r += 4;
+    }
+    while r < rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let dr = &dyt[r * batch..(r + 1) * batch];
+        for (k, &wk) in row.iter().enumerate() {
+            let dst = &mut dxt[k * batch..(k + 1) * batch];
+            for (g, &dv) in dst.iter_mut().zip(dr.iter()) {
+                *g += wk * dv;
+            }
+        }
+        r += 1;
+    }
+}
+
+/// Batched weight-gradient update `GW += dYᵀ·X`, `Gb += Σ_b dY_b`:
+/// `dy` is `batch × rows`, `x` is `batch × cols`.
+///
+/// The batch reduction is blocked four-wide (one sweep of each weight
+/// row per four samples), quartering the `GW` read/write traffic; the
+/// sweep itself vectorizes over the columns.
+#[inline]
+pub fn matmul_dw_accumulate(
+    gw: &mut [f32],
+    gb: &mut [f32],
+    dy: &[f32],
+    x: &[f32],
+    batch: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert_eq!(gw.len(), rows * cols);
+    debug_assert_eq!(gb.len(), rows);
+    debug_assert_eq!(dy.len(), batch * rows);
+    debug_assert_eq!(x.len(), batch * cols);
+    for r in 0..rows {
+        let row = &mut gw[r * cols..(r + 1) * cols];
+        let mut bias_acc = gb[r];
+        let mut bi = 0;
+        while bi + 4 <= batch {
+            let (d0, d1, d2, d3) = (
+                dy[bi * rows + r],
+                dy[(bi + 1) * rows + r],
+                dy[(bi + 2) * rows + r],
+                dy[(bi + 3) * rows + r],
+            );
+            bias_acc += d0 + d1 + d2 + d3;
+            if d0 != 0.0 || d1 != 0.0 || d2 != 0.0 || d3 != 0.0 {
+                let (x01, x23) = x[bi * cols..(bi + 4) * cols].split_at(2 * cols);
+                let (x0, x1) = x01.split_at(cols);
+                let (x2, x3) = x23.split_at(cols);
+                for ((((g, &a0), &a1), &a2), &a3) in row.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3)
+                {
+                    *g += d0 * a0 + d1 * a1 + d2 * a2 + d3 * a3;
+                }
+            }
+            bi += 4;
+        }
+        while bi < batch {
+            let d = dy[bi * rows + r];
+            bias_acc += d;
+            if d != 0.0 {
+                let xb = &x[bi * cols..(bi + 1) * cols];
+                for (g, xi) in row.iter_mut().zip(xb.iter()) {
+                    *g += d * xi;
+                }
+            }
+            bi += 1;
+        }
+        gb[r] = bias_acc;
+    }
+}
+
+/// In-place batched ReLU; `mask[i]` records whether lane `i` passed.
+#[inline]
+pub fn relu_forward(x: &mut [f32], mask: &mut [bool]) {
+    debug_assert_eq!(x.len(), mask.len());
+    for (v, m) in x.iter_mut().zip(mask.iter_mut()) {
+        *m = *v > 0.0;
+        if !*m {
+            *v = 0.0;
+        }
+    }
+}
+
+/// In-place batched ReLU backward using the recorded mask.
+#[inline]
+pub fn relu_backward(dy: &mut [f32], mask: &[bool]) {
+    debug_assert_eq!(dy.len(), mask.len());
+    for (d, &m) in dy.iter_mut().zip(mask.iter()) {
+        if !m {
+            *d = 0.0;
+        }
+    }
+}
+
 /// Index of the maximum value among `allowed` entries (ties → lowest
 /// index). Returns `None` when no entry is allowed.
 #[must_use]
@@ -77,9 +305,73 @@ pub fn masked_argmax(values: &[f32], allowed: impl Fn(usize) -> bool) -> Option<
     best.map(|(i, _)| i)
 }
 
+/// Like [`masked_argmax`], but exact-value ties are broken uniformly at
+/// random from `rng` (reservoir sampling over the tied set) instead of
+/// by iteration order.
+///
+/// Lowest-index tie-breaking systematically biases exploration toward
+/// low-numbered actions — with several rollout workers sharing one
+/// freshly-initialised network, every worker would break the same ties
+/// the same way. Training action selection uses this variant with the
+/// per-episode RNG stream; deployment-time greedy rollouts keep the
+/// deterministic [`masked_argmax`].
+#[must_use]
+pub fn masked_argmax_tiebreak<R: rand::Rng>(
+    values: &[f32],
+    allowed: impl Fn(usize) -> bool,
+    rng: &mut R,
+) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    let mut ties = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if !allowed(i) {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v > bv => {
+                best = Some((i, v));
+                ties = 1;
+            }
+            Some((_, bv)) if v == bv => {
+                ties += 1;
+                if rng.gen_range(0u32..ties) == 0 {
+                    best = Some((i, v));
+                }
+            }
+            None => {
+                best = Some((i, v));
+                ties = 1;
+            }
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Row-wise masked argmax over a `batch × n` matrix: `out[b]` is the
+/// argmax of row `b` among `masks[b]`'s set bits (ties → lowest index),
+/// or `None` when the row's mask is empty.
+pub fn masked_argmax_batch(
+    values: &[f32],
+    batch: usize,
+    n: usize,
+    masks: &[u64],
+    out: &mut Vec<Option<usize>>,
+) {
+    debug_assert_eq!(values.len(), batch * n);
+    debug_assert_eq!(masks.len(), batch);
+    out.clear();
+    out.extend(
+        (0..batch)
+            .map(|b| masked_argmax(&values[b * n..(b + 1) * n], |a| masks[b] & (1 << a) != 0)),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn matvec_computes_affine_map() {
@@ -110,6 +402,112 @@ mod tests {
         assert_eq!(gw, [11.0, 0.0, 21.0, -1.0, 1.0, 1.0]);
     }
 
+    fn randn(n: usize, rng: &mut SmallRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let src = randn(3 * 5, &mut rng);
+        let mut t = Vec::new();
+        transpose_into(&src, &mut t, 3, 5);
+        // t[c][r] = src[r][c]: element (c = 0, r = 1) ← (r = 1, c = 0).
+        assert_eq!(t[1], src[5], "t[c][r] = src[r][c]");
+        let mut back = Vec::new();
+        transpose_into(&t, &mut back, 5, 3);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn matmul_bias_tn_matches_per_sample_matvec() {
+        let (batch, rows, cols) = (5, 7, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (w, b, x) = (
+            randn(rows * cols, &mut rng),
+            randn(rows, &mut rng),
+            randn(batch * cols, &mut rng),
+        );
+        let mut xt = Vec::new();
+        transpose_into(&x, &mut xt, batch, cols);
+        let mut yt = Vec::new();
+        matmul_bias_tn(&w, &b, &xt, &mut yt, batch, rows, cols);
+        let mut y = Vec::new();
+        transpose_into(&yt, &mut y, rows, batch);
+        for bi in 0..batch {
+            let mut yb = vec![0.0f32; rows];
+            matvec(&w, &b, &x[bi * cols..(bi + 1) * cols], &mut yb, rows, cols);
+            for (a, e) in y[bi * rows..(bi + 1) * rows].iter().zip(yb.iter()) {
+                assert!((a - e).abs() < 1e-5, "sample {bi}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_dx_tn_matches_per_sample_transpose() {
+        let (batch, rows, cols) = (4, 6, 5);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let w = randn(rows * cols, &mut rng);
+        let dy = randn(batch * rows, &mut rng);
+        let mut dyt = Vec::new();
+        transpose_into(&dy, &mut dyt, batch, rows);
+        let mut dxt = Vec::new();
+        matmul_dx_tn(&w, &dyt, &mut dxt, batch, rows, cols);
+        let mut dx = Vec::new();
+        transpose_into(&dxt, &mut dx, cols, batch);
+        for bi in 0..batch {
+            let mut dxb = vec![0.0f32; cols];
+            matvec_transpose(&w, &dy[bi * rows..(bi + 1) * rows], &mut dxb, rows, cols);
+            for (a, e) in dx[bi * cols..(bi + 1) * cols].iter().zip(dxb.iter()) {
+                assert!((a - e).abs() < 1e-6, "sample {bi}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_dw_matches_per_sample_outer() {
+        let (batch, rows, cols) = (6, 3, 4);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let dy = randn(batch * rows, &mut rng);
+        let x = randn(batch * cols, &mut rng);
+        let mut gw_batched = vec![0.5f32; rows * cols];
+        let mut gb_batched = vec![0.25f32; rows];
+        matmul_dw_accumulate(&mut gw_batched, &mut gb_batched, &dy, &x, batch, rows, cols);
+        let mut gw_serial = vec![0.5f32; rows * cols];
+        let mut gb_serial = vec![0.25f32; rows];
+        for bi in 0..batch {
+            let dyb = &dy[bi * rows..(bi + 1) * rows];
+            outer_accumulate(
+                &mut gw_serial,
+                dyb,
+                &x[bi * cols..(bi + 1) * cols],
+                rows,
+                cols,
+            );
+            for (g, &d) in gb_serial.iter_mut().zip(dyb.iter()) {
+                *g += d;
+            }
+        }
+        for (a, e) in gw_batched.iter().zip(gw_serial.iter()) {
+            assert!((a - e).abs() < 1e-6);
+        }
+        for (a, e) in gb_batched.iter().zip(gb_serial.iter()) {
+            assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn relu_kernels_mask_and_gate() {
+        let mut x = vec![1.0, -2.0, 0.0, 3.0];
+        let mut mask = vec![false; 4];
+        relu_forward(&mut x, &mut mask);
+        assert_eq!(x, vec![1.0, 0.0, 0.0, 3.0]);
+        assert_eq!(mask, vec![true, false, false, true]);
+        let mut dy = vec![10.0; 4];
+        relu_backward(&mut dy, &mask);
+        assert_eq!(dy, vec![10.0, 0.0, 0.0, 10.0]);
+    }
+
     #[test]
     fn masked_argmax_respects_mask() {
         let v = [1.0, 5.0, 3.0];
@@ -122,5 +520,44 @@ mod tests {
     fn masked_argmax_tie_breaks_low() {
         let v = [2.0, 2.0, 1.0];
         assert_eq!(masked_argmax(&v, |_| true), Some(0));
+    }
+
+    #[test]
+    fn masked_argmax_batch_per_row_masks() {
+        let v = [1.0, 5.0, 3.0, 9.0, 2.0, 0.0];
+        let masks = [0b111u64, 0b110, 0b000];
+        let mut out = Vec::new();
+        masked_argmax_batch(&v[..6], 2, 3, &masks[..2], &mut out);
+        // Row 0: free argmax → 5.0 at index 1. Row 1 masks out index 0
+        // (the 9.0), leaving 2.0 at index 1.
+        assert_eq!(out, vec![Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn tiebreak_argmax_is_uniform_over_ties() {
+        let v = [4.0, 4.0, 1.0, 4.0];
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut counts = [0usize; 4];
+        for _ in 0..6000 {
+            let i = masked_argmax_tiebreak(&v, |_| true, &mut rng).unwrap();
+            counts[i] += 1;
+        }
+        assert_eq!(counts[2], 0, "non-maximal index must never win");
+        for &i in &[0usize, 1, 3] {
+            assert!(
+                (1700..2300).contains(&counts[i]),
+                "tie index {i} won {} of 6000",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tiebreak_argmax_respects_mask_and_empty() {
+        let v = [2.0, 2.0, 5.0];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let picked = masked_argmax_tiebreak(&v, |i| i < 2, &mut rng);
+        assert!(picked == Some(0) || picked == Some(1), "picked {picked:?}");
+        assert_eq!(masked_argmax_tiebreak(&v, |_| false, &mut rng), None);
     }
 }

@@ -138,8 +138,7 @@ impl MixCategory {
             Some(dom) => {
                 let half = w / 2;
                 out.extend(std::iter::repeat_n(dom, half));
-                let others: Vec<Class> =
-                    Class::ALL.iter().copied().filter(|&c| c != dom).collect();
+                let others: Vec<Class> = Class::ALL.iter().copied().filter(|&c| c != dom).collect();
                 for i in 0..w - half {
                     out.push(others[i % others.len()]);
                 }
@@ -157,30 +156,210 @@ impl MixCategory {
 /// The exact Table V queues (W = 12). Starred programs appear verbatim —
 /// they are unseen during training.
 const TABLE_V: [(&str, &[&str]); 12] = [
-    ("Q1", &["huffman", "bt_solver_C", "bt_solver_B", "hotspot3D", "heartwall", "lavaMD",
-             "lud_B", "cfd", "sp_solver_B", "pathfinder", "needle", "qs_NoFission"]),
-    ("Q2", &["bt_solver_C", "heartwall", "lavaMD", "huffman", "hotspot", "hotspot3D",
-             "cfd", "sp_solver_C", "gaussian", "pathfinder", "needle", "qs_Coral_P1"]),
-    ("Q3", &["huffman", "bt_solver_C", "hotspot3D", "hotspot", "heartwall", "lavaMD",
-             "lud_B", "stream", "sp_solver_C", "qs_NoFission", "pathfinder", "needle"]),
-    ("Q4", &["bt_solver_B", "heartwall", "bt_solver_C", "lud_B", "gaussian", "sp_solver_B",
-             "cfd", "sp_solver_C", "stream", "qs_NoCollisions", "pathfinder", "qs_Coral_P2"]),
-    ("Q5", &["heartwall", "hotspot", "bt_solver_B", "lud_B", "gaussian", "randomaccess",
-             "stream", "lud_C", "sp_solver_B", "qs_Coral_P2", "dwt2d", "qs_Coral_P1"]),
-    ("Q6", &["bt_solver_C", "huffman", "lavaMD", "sp_solver_B", "gaussian", "randomaccess",
-             "lud_C", "stream", "cfd", "qs_NoFission", "needle", "qs_Coral_P1"]),
-    ("Q7", &["heartwall", "hotspot", "hotspot3D", "gaussian", "stream", "lud_B",
-             "pathfinder", "qs_NoFission", "qs_Coral_P2", "backprop", "qs_NoCollisions", "dwt2d"]),
-    ("Q8", &["bt_solver_C", "hotspot3D", "lavaMD", "stream", "cfd", "lud_B",
-             "qs_Coral_P1", "needle", "kmeans", "qs_Coral_P2", "qs_NoFission", "qs_NoCollisions"]),
-    ("Q9", &["lavaMD", "hotspot3D", "hotspot", "sp_solver_B", "lud_C", "randomaccess",
-             "qs_Coral_P1", "dwt2d", "kmeans", "needle", "qs_NoCollisions", "qs_Coral_P2"]),
-    ("Q10", &["lavaMD", "huffman", "hotspot3D", "bt_solver_C", "lud_C", "lud_B",
-              "stream", "sp_solver_C", "qs_NoCollisions", "needle", "pathfinder", "qs_Coral_P1"]),
-    ("Q11", &["huffman", "hotspot3D", "hotspot", "bt_solver_B", "cfd", "lud_C",
-              "stream", "gaussian", "qs_Coral_P2", "needle", "pathfinder", "dwt2d"]),
-    ("Q12", &["lavaMD", "hotspot", "huffman", "heartwall", "sp_solver_C", "lud_C",
-              "randomaccess", "gaussian", "needle", "pathfinder", "qs_NoCollisions", "backprop"]),
+    (
+        "Q1",
+        &[
+            "huffman",
+            "bt_solver_C",
+            "bt_solver_B",
+            "hotspot3D",
+            "heartwall",
+            "lavaMD",
+            "lud_B",
+            "cfd",
+            "sp_solver_B",
+            "pathfinder",
+            "needle",
+            "qs_NoFission",
+        ],
+    ),
+    (
+        "Q2",
+        &[
+            "bt_solver_C",
+            "heartwall",
+            "lavaMD",
+            "huffman",
+            "hotspot",
+            "hotspot3D",
+            "cfd",
+            "sp_solver_C",
+            "gaussian",
+            "pathfinder",
+            "needle",
+            "qs_Coral_P1",
+        ],
+    ),
+    (
+        "Q3",
+        &[
+            "huffman",
+            "bt_solver_C",
+            "hotspot3D",
+            "hotspot",
+            "heartwall",
+            "lavaMD",
+            "lud_B",
+            "stream",
+            "sp_solver_C",
+            "qs_NoFission",
+            "pathfinder",
+            "needle",
+        ],
+    ),
+    (
+        "Q4",
+        &[
+            "bt_solver_B",
+            "heartwall",
+            "bt_solver_C",
+            "lud_B",
+            "gaussian",
+            "sp_solver_B",
+            "cfd",
+            "sp_solver_C",
+            "stream",
+            "qs_NoCollisions",
+            "pathfinder",
+            "qs_Coral_P2",
+        ],
+    ),
+    (
+        "Q5",
+        &[
+            "heartwall",
+            "hotspot",
+            "bt_solver_B",
+            "lud_B",
+            "gaussian",
+            "randomaccess",
+            "stream",
+            "lud_C",
+            "sp_solver_B",
+            "qs_Coral_P2",
+            "dwt2d",
+            "qs_Coral_P1",
+        ],
+    ),
+    (
+        "Q6",
+        &[
+            "bt_solver_C",
+            "huffman",
+            "lavaMD",
+            "sp_solver_B",
+            "gaussian",
+            "randomaccess",
+            "lud_C",
+            "stream",
+            "cfd",
+            "qs_NoFission",
+            "needle",
+            "qs_Coral_P1",
+        ],
+    ),
+    (
+        "Q7",
+        &[
+            "heartwall",
+            "hotspot",
+            "hotspot3D",
+            "gaussian",
+            "stream",
+            "lud_B",
+            "pathfinder",
+            "qs_NoFission",
+            "qs_Coral_P2",
+            "backprop",
+            "qs_NoCollisions",
+            "dwt2d",
+        ],
+    ),
+    (
+        "Q8",
+        &[
+            "bt_solver_C",
+            "hotspot3D",
+            "lavaMD",
+            "stream",
+            "cfd",
+            "lud_B",
+            "qs_Coral_P1",
+            "needle",
+            "kmeans",
+            "qs_Coral_P2",
+            "qs_NoFission",
+            "qs_NoCollisions",
+        ],
+    ),
+    (
+        "Q9",
+        &[
+            "lavaMD",
+            "hotspot3D",
+            "hotspot",
+            "sp_solver_B",
+            "lud_C",
+            "randomaccess",
+            "qs_Coral_P1",
+            "dwt2d",
+            "kmeans",
+            "needle",
+            "qs_NoCollisions",
+            "qs_Coral_P2",
+        ],
+    ),
+    (
+        "Q10",
+        &[
+            "lavaMD",
+            "huffman",
+            "hotspot3D",
+            "bt_solver_C",
+            "lud_C",
+            "lud_B",
+            "stream",
+            "sp_solver_C",
+            "qs_NoCollisions",
+            "needle",
+            "pathfinder",
+            "qs_Coral_P1",
+        ],
+    ),
+    (
+        "Q11",
+        &[
+            "huffman",
+            "hotspot3D",
+            "hotspot",
+            "bt_solver_B",
+            "cfd",
+            "lud_C",
+            "stream",
+            "gaussian",
+            "qs_Coral_P2",
+            "needle",
+            "pathfinder",
+            "dwt2d",
+        ],
+    ),
+    (
+        "Q12",
+        &[
+            "lavaMD",
+            "hotspot",
+            "huffman",
+            "heartwall",
+            "sp_solver_C",
+            "lud_C",
+            "randomaccess",
+            "gaussian",
+            "needle",
+            "pathfinder",
+            "qs_NoCollisions",
+            "backprop",
+        ],
+    ),
 ];
 
 /// Category of each Table V queue, in order (Q1–Q3 CI-dominant, Q4–Q6

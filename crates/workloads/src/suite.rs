@@ -7,9 +7,9 @@
 //! marked *unseen* (starred in the paper) are excluded from offline
 //! training and used to test generalization.
 
-use crate::class::Class;
 #[cfg(test)]
 use crate::class::classify;
+use crate::class::Class;
 use hrp_gpusim::arch::GpuArch;
 use hrp_gpusim::AppModel;
 use std::collections::HashMap;
@@ -60,35 +60,467 @@ type Row = (
 /// scale poorly on GPUs; `lavaMD` is compute-dense n-body).
 const ROWS: [Row; 27] = [
     // --- Compute Intensive (8) ---
-    ("lavaMD",          Class::Ci, false, 0.97, 0.92, 0.18, 0.05, 38.0, 88.0, 22.0, 1200.0, 13000,  72, 7.2, 52.0),
-    ("huffman",         Class::Ci, true,  0.90, 0.78, 0.30, 0.08, 12.0, 72.0, 35.0,  300.0,  4096,  40, 3.1, 36.0),
-    ("hotspot3D",       Class::Ci, false, 0.95, 0.85, 0.42, 0.10, 25.0, 80.0, 48.0, 2048.0,  8192,  56, 5.5, 44.0),
-    ("hotspot",         Class::Ci, true,  0.93, 0.82, 0.38, 0.09, 15.0, 76.0, 44.0, 1024.0,  7000,  50, 4.8, 42.0),
-    ("heartwall",       Class::Ci, true,  0.94, 0.88, 0.25, 0.06, 30.0, 84.0, 30.0,  700.0,  2600,  63, 2.4, 38.0),
-    ("bt_solver_A",     Class::Ci, false, 0.96, 0.90, 0.35, 0.07, 45.0, 86.0, 40.0, 3000.0, 16000,  80, 8.1, 50.0),
-    ("bt_solver_B",     Class::Ci, false, 0.96, 0.88, 0.33, 0.07, 60.0, 85.0, 38.0, 4200.0, 20000,  80, 9.0, 51.0),
-    ("bt_solver_C",     Class::Ci, false, 0.97, 0.91, 0.30, 0.06, 75.0, 89.0, 33.0, 5600.0, 25000,  82, 9.8, 53.0),
+    (
+        "lavaMD",
+        Class::Ci,
+        false,
+        0.97,
+        0.92,
+        0.18,
+        0.05,
+        38.0,
+        88.0,
+        22.0,
+        1200.0,
+        13000,
+        72,
+        7.2,
+        52.0,
+    ),
+    (
+        "huffman",
+        Class::Ci,
+        true,
+        0.90,
+        0.78,
+        0.30,
+        0.08,
+        12.0,
+        72.0,
+        35.0,
+        300.0,
+        4096,
+        40,
+        3.1,
+        36.0,
+    ),
+    (
+        "hotspot3D",
+        Class::Ci,
+        false,
+        0.95,
+        0.85,
+        0.42,
+        0.10,
+        25.0,
+        80.0,
+        48.0,
+        2048.0,
+        8192,
+        56,
+        5.5,
+        44.0,
+    ),
+    (
+        "hotspot",
+        Class::Ci,
+        true,
+        0.93,
+        0.82,
+        0.38,
+        0.09,
+        15.0,
+        76.0,
+        44.0,
+        1024.0,
+        7000,
+        50,
+        4.8,
+        42.0,
+    ),
+    (
+        "heartwall",
+        Class::Ci,
+        true,
+        0.94,
+        0.88,
+        0.25,
+        0.06,
+        30.0,
+        84.0,
+        30.0,
+        700.0,
+        2600,
+        63,
+        2.4,
+        38.0,
+    ),
+    (
+        "bt_solver_A",
+        Class::Ci,
+        false,
+        0.96,
+        0.90,
+        0.35,
+        0.07,
+        45.0,
+        86.0,
+        40.0,
+        3000.0,
+        16000,
+        80,
+        8.1,
+        50.0,
+    ),
+    (
+        "bt_solver_B",
+        Class::Ci,
+        false,
+        0.96,
+        0.88,
+        0.33,
+        0.07,
+        60.0,
+        85.0,
+        38.0,
+        4200.0,
+        20000,
+        80,
+        9.0,
+        51.0,
+    ),
+    (
+        "bt_solver_C",
+        Class::Ci,
+        false,
+        0.97,
+        0.91,
+        0.30,
+        0.06,
+        75.0,
+        89.0,
+        33.0,
+        5600.0,
+        25000,
+        82,
+        9.8,
+        53.0,
+    ),
     // --- Memory Intensive (10) ---
-    ("lud_A",           Class::Mi, false, 0.92, 0.40, 0.75, 0.25, 20.0, 45.0, 72.0, 2048.0,  6000,  34, 4.0, 40.0),
-    ("lud_B",           Class::Mi, false, 0.92, 0.38, 0.80, 0.28, 35.0, 42.0, 78.0, 4096.0,  9000,  34, 5.2, 42.0),
-    ("lud_C",           Class::Mi, true,  0.93, 0.36, 0.85, 0.30, 50.0, 40.0, 82.0, 8192.0, 14000,  34, 6.4, 44.0),
-    ("sp_solver_A",     Class::Mi, false, 0.94, 0.45, 0.78, 0.22, 40.0, 50.0, 75.0, 5000.0, 12000,  44, 5.8, 46.0),
-    ("sp_solver_B",     Class::Mi, false, 0.94, 0.42, 0.82, 0.24, 55.0, 48.0, 80.0, 7000.0, 15000,  44, 6.6, 47.0),
-    ("sp_solver_C",     Class::Mi, false, 0.95, 0.40, 0.88, 0.26, 70.0, 46.0, 85.0, 9000.0, 18000,  44, 7.4, 48.0),
-    ("randomaccess",    Class::Mi, false, 0.90, 0.25, 0.95, 0.45, 18.0, 28.0, 92.0, 16384.0, 32768, 24, 3.0, 30.0),
-    ("cfd",             Class::Mi, true,  0.93, 0.48, 0.85, 0.30, 28.0, 52.0, 80.0, 3000.0, 10000,  52, 5.0, 45.0),
-    ("gaussian",        Class::Mi, true,  0.91, 0.35, 0.72, 0.20, 14.0, 38.0, 70.0, 1500.0,  5000,  30, 3.5, 38.0),
-    ("stream",          Class::Mi, false, 0.97, 0.30, 1.00, 0.35, 10.0, 32.0, 95.0, 12288.0, 24576, 26, 4.4, 34.0),
+    (
+        "lud_A",
+        Class::Mi,
+        false,
+        0.92,
+        0.40,
+        0.75,
+        0.25,
+        20.0,
+        45.0,
+        72.0,
+        2048.0,
+        6000,
+        34,
+        4.0,
+        40.0,
+    ),
+    (
+        "lud_B",
+        Class::Mi,
+        false,
+        0.92,
+        0.38,
+        0.80,
+        0.28,
+        35.0,
+        42.0,
+        78.0,
+        4096.0,
+        9000,
+        34,
+        5.2,
+        42.0,
+    ),
+    (
+        "lud_C",
+        Class::Mi,
+        true,
+        0.93,
+        0.36,
+        0.85,
+        0.30,
+        50.0,
+        40.0,
+        82.0,
+        8192.0,
+        14000,
+        34,
+        6.4,
+        44.0,
+    ),
+    (
+        "sp_solver_A",
+        Class::Mi,
+        false,
+        0.94,
+        0.45,
+        0.78,
+        0.22,
+        40.0,
+        50.0,
+        75.0,
+        5000.0,
+        12000,
+        44,
+        5.8,
+        46.0,
+    ),
+    (
+        "sp_solver_B",
+        Class::Mi,
+        false,
+        0.94,
+        0.42,
+        0.82,
+        0.24,
+        55.0,
+        48.0,
+        80.0,
+        7000.0,
+        15000,
+        44,
+        6.6,
+        47.0,
+    ),
+    (
+        "sp_solver_C",
+        Class::Mi,
+        false,
+        0.95,
+        0.40,
+        0.88,
+        0.26,
+        70.0,
+        46.0,
+        85.0,
+        9000.0,
+        18000,
+        44,
+        7.4,
+        48.0,
+    ),
+    (
+        "randomaccess",
+        Class::Mi,
+        false,
+        0.90,
+        0.25,
+        0.95,
+        0.45,
+        18.0,
+        28.0,
+        92.0,
+        16384.0,
+        32768,
+        24,
+        3.0,
+        30.0,
+    ),
+    (
+        "cfd",
+        Class::Mi,
+        true,
+        0.93,
+        0.48,
+        0.85,
+        0.30,
+        28.0,
+        52.0,
+        80.0,
+        3000.0,
+        10000,
+        52,
+        5.0,
+        45.0,
+    ),
+    (
+        "gaussian",
+        Class::Mi,
+        true,
+        0.91,
+        0.35,
+        0.72,
+        0.20,
+        14.0,
+        38.0,
+        70.0,
+        1500.0,
+        5000,
+        30,
+        3.5,
+        38.0,
+    ),
+    (
+        "stream",
+        Class::Mi,
+        false,
+        0.97,
+        0.30,
+        1.00,
+        0.35,
+        10.0,
+        32.0,
+        95.0,
+        12288.0,
+        24576,
+        26,
+        4.4,
+        34.0,
+    ),
     // --- UnScalable (9) ---
-    ("kmeans",          Class::Us, false, 0.20, 0.42, 0.11, 0.06, 16.0, 35.0, 30.0,  400.0,  1200,  36, 0.8, 24.0),
-    ("dwt2d",           Class::Us, false, 0.25, 0.37, 0.12, 0.08, 12.0, 33.0, 28.0,  500.0,   900,  38, 0.6, 22.0),
-    ("needle",          Class::Us, true,  0.30, 0.33, 0.09, 0.05, 22.0, 30.0, 26.0,  600.0,   512,  42, 0.4, 18.0),
-    ("pathfinder",      Class::Us, false, 0.22, 0.40, 0.10, 0.05, 14.0, 36.0, 27.0,  350.0,  1500,  32, 0.9, 26.0),
-    ("backprop",        Class::Us, true,  0.28, 0.34, 0.13, 0.09,  9.0, 31.0, 33.0,  450.0,  2048,  28, 1.0, 28.0),
-    ("qs_Coral_P1",     Class::Us, false, 0.18, 0.45, 0.08, 0.04, 65.0, 40.0, 24.0, 1800.0,  3000,  58, 1.4, 30.0),
-    ("qs_Coral_P2",     Class::Us, false, 0.20, 0.44, 0.09, 0.04, 80.0, 39.0, 25.0, 2400.0,  3600,  58, 1.6, 31.0),
-    ("qs_NoFission",    Class::Us, true,  0.16, 0.46, 0.07, 0.04, 55.0, 41.0, 22.0, 1600.0,  2800,  58, 1.3, 29.0),
-    ("qs_NoCollisions", Class::Us, false, 0.19, 0.43, 0.08, 0.04, 48.0, 38.0, 23.0, 1500.0,  2600,  58, 1.2, 28.0),
+    (
+        "kmeans",
+        Class::Us,
+        false,
+        0.20,
+        0.42,
+        0.11,
+        0.06,
+        16.0,
+        35.0,
+        30.0,
+        400.0,
+        1200,
+        36,
+        0.8,
+        24.0,
+    ),
+    (
+        "dwt2d",
+        Class::Us,
+        false,
+        0.25,
+        0.37,
+        0.12,
+        0.08,
+        12.0,
+        33.0,
+        28.0,
+        500.0,
+        900,
+        38,
+        0.6,
+        22.0,
+    ),
+    (
+        "needle",
+        Class::Us,
+        true,
+        0.30,
+        0.33,
+        0.09,
+        0.05,
+        22.0,
+        30.0,
+        26.0,
+        600.0,
+        512,
+        42,
+        0.4,
+        18.0,
+    ),
+    (
+        "pathfinder",
+        Class::Us,
+        false,
+        0.22,
+        0.40,
+        0.10,
+        0.05,
+        14.0,
+        36.0,
+        27.0,
+        350.0,
+        1500,
+        32,
+        0.9,
+        26.0,
+    ),
+    (
+        "backprop",
+        Class::Us,
+        true,
+        0.28,
+        0.34,
+        0.13,
+        0.09,
+        9.0,
+        31.0,
+        33.0,
+        450.0,
+        2048,
+        28,
+        1.0,
+        28.0,
+    ),
+    (
+        "qs_Coral_P1",
+        Class::Us,
+        false,
+        0.18,
+        0.45,
+        0.08,
+        0.04,
+        65.0,
+        40.0,
+        24.0,
+        1800.0,
+        3000,
+        58,
+        1.4,
+        30.0,
+    ),
+    (
+        "qs_Coral_P2",
+        Class::Us,
+        false,
+        0.20,
+        0.44,
+        0.09,
+        0.04,
+        80.0,
+        39.0,
+        25.0,
+        2400.0,
+        3600,
+        58,
+        1.6,
+        31.0,
+    ),
+    (
+        "qs_NoFission",
+        Class::Us,
+        true,
+        0.16,
+        0.46,
+        0.07,
+        0.04,
+        55.0,
+        41.0,
+        22.0,
+        1600.0,
+        2800,
+        58,
+        1.3,
+        29.0,
+    ),
+    (
+        "qs_NoCollisions",
+        Class::Us,
+        false,
+        0.19,
+        0.43,
+        0.08,
+        0.04,
+        48.0,
+        38.0,
+        23.0,
+        1500.0,
+        2600,
+        58,
+        1.2,
+        28.0,
+    ),
 ];
 
 impl Suite {
@@ -97,8 +529,7 @@ impl Suite {
     pub fn paper_suite(arch: &GpuArch) -> Self {
         let mut benchmarks = Vec::with_capacity(ROWS.len());
         let mut by_name = HashMap::with_capacity(ROWS.len());
-        for (name, class, unseen, f, u, b, sigma, t, sm, mem, ws, grid, regs, waves, warps) in
-            ROWS
+        for (name, class, unseen, f, u, b, sigma, t, sm, mem, ws, grid, regs, waves, warps) in ROWS
         {
             // Co-residency sensitivity by class: CI kernels mostly live in
             // registers/L1 (mild), MI kernels fight over LLC/DRAM queues,
@@ -123,11 +554,7 @@ impl Suite {
                 .occupancy(grid, regs, waves, warps)
                 .build();
             by_name.insert(name.to_owned(), benchmarks.len());
-            benchmarks.push(Benchmark {
-                app,
-                class,
-                unseen,
-            });
+            benchmarks.push(Benchmark { app, class, unseen });
         }
         Self {
             benchmarks,
@@ -279,10 +706,7 @@ mod tests {
         let s = suite();
         for (i, b) in s.benchmarks().iter().enumerate() {
             assert_eq!(s.index_of(&b.app.name), Some(i));
-            assert_eq!(
-                s.get(&b.app.name).unwrap().app.name,
-                b.app.name
-            );
+            assert_eq!(s.get(&b.app.name).unwrap().app.name, b.app.name);
         }
         assert!(s.get("not_a_benchmark").is_none());
     }

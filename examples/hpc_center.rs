@@ -26,12 +26,31 @@ fn main() {
 
     // A day's submissions: a mix of repeat offenders and one-offs.
     let trace = [
-        "stream", "lavaMD", "kmeans", "cfd", "pathfinder", "lud_A",
+        "stream",
+        "lavaMD",
+        "kmeans",
+        "cfd",
+        "pathfinder",
+        "lud_A",
         // second wave: all profiled now, windows start forming
-        "stream", "lavaMD", "kmeans", "cfd", "pathfinder", "lud_A",
-        "bt_solver_A", "sp_solver_B", "qs_Coral_P1", "dwt2d",
-        "stream", "lud_A", "kmeans", "bt_solver_A", "sp_solver_B",
-        "qs_Coral_P1", "dwt2d", "pathfinder",
+        "stream",
+        "lavaMD",
+        "kmeans",
+        "cfd",
+        "pathfinder",
+        "lud_A",
+        "bt_solver_A",
+        "sp_solver_B",
+        "qs_Coral_P1",
+        "dwt2d",
+        "stream",
+        "lud_A",
+        "kmeans",
+        "bt_solver_A",
+        "sp_solver_B",
+        "qs_Coral_P1",
+        "dwt2d",
+        "pathfinder",
     ];
     for name in trace {
         system.submit(name);

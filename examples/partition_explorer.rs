@@ -26,7 +26,11 @@ fn describe(scheme: &PartitionScheme, suite: &Suite, names: &[&str]) {
         scheme,
         part.slots.len(),
         part.domains.len(),
-        if part.mig_enabled { "on (7/8 GPCs)" } else { "off" },
+        if part.mig_enabled {
+            "on (7/8 GPCs)"
+        } else {
+            "off"
+        },
     );
     let n = part.slots.len().min(names.len());
     let apps: Vec<&AppModel> = names[..n]

@@ -43,7 +43,14 @@ fn main() {
     //    including starred (unseen) programs.
     let queue = JobQueue::from_names(
         "demo",
-        &["bt_solver_A", "stream", "kmeans", "cfd", "pathfinder", "lud_A"],
+        &[
+            "bt_solver_A",
+            "stream",
+            "kmeans",
+            "cfd",
+            "pathfinder",
+            "lud_A",
+        ],
         &suite,
     );
     let policy = MigMpsRl::new(trained);
@@ -75,11 +82,7 @@ fn main() {
     );
 
     // Compare against the baselines of §V-A4 in one line each.
-    for policy in [
-        &TimeSharing as &dyn Policy,
-        &MigOnly,
-        &MpsOnly,
-    ] {
+    for policy in [&TimeSharing as &dyn Policy, &MigOnly, &MpsOnly] {
         let d = policy.schedule(&ctx);
         let m = evaluate_decision(&queue.label, &suite, &queue, &d);
         println!("{:<18} throughput {:.3}", policy.name(), m.throughput);

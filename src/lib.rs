@@ -65,6 +65,6 @@ pub mod prelude {
     pub use hrp_core::train::{train, TrainConfig, TrainedAgent};
     pub use hrp_core::ActionCatalog;
     pub use hrp_gpusim::prelude::*;
-    pub use hrp_profile::{FeatureScaler, Profiler, ProfileRepository};
+    pub use hrp_profile::{FeatureScaler, ProfileRepository, Profiler};
     pub use hrp_workloads::{Class, JobQueue, MixCategory, QueueGenerator, Suite};
 }

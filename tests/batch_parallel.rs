@@ -1,0 +1,131 @@
+//! Cross-crate guarantees of the batched tensor core and the parallel
+//! rollout/evaluation pipeline:
+//!
+//! 1. batched network passes are equivalent to per-sample passes for
+//!    both head architectures (property-style over random states);
+//! 2. a batched DQN learning step yields the same weights as the
+//!    per-sample reference within 1e-5;
+//! 3. training with 1 worker and with 4 workers produces the same
+//!    trained policy and therefore identical evaluation throughput for
+//!    a fixed seed.
+
+use hrp::core::metrics::evaluate_decision;
+use hrp::nn::net::{Head, QNet};
+use hrp::nn::replay::Transition;
+use hrp::nn::{DqnAgent, DqnConfig};
+use hrp::prelude::*;
+
+fn lcg_stream(seed: u64) -> impl FnMut() -> f32 {
+    let mut state = seed;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+}
+
+#[test]
+fn forward_batch_equals_per_sample_forward_property() {
+    for head in [Head::Plain, Head::Dueling] {
+        let mut net = QNet::new(10, &[24, 12], 5, head, 99);
+        let mut gen = lcg_stream(7);
+        // 16 random "cases": random batch sizes and state contents.
+        for case in 0..16 {
+            let batch = 1 + case % 7;
+            let x: Vec<f32> = (0..batch * 10).map(|_| gen()).collect();
+            let mut q_batch = Vec::new();
+            net.forward_batch(&x, batch, &mut q_batch);
+            for b in 0..batch {
+                let q_one = net.predict(&x[b * 10..(b + 1) * 10]);
+                for a in 0..5 {
+                    assert!(
+                        (q_batch[b * 5 + a] - q_one[a]).abs() < 1e-5,
+                        "{head:?} case {case} sample {b} action {a}: \
+                         batched {} vs per-sample {}",
+                        q_batch[b * 5 + a],
+                        q_one[a]
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn seeded_agent(head: Head) -> DqnAgent {
+    let cfg = DqnConfig {
+        state_dim: 6,
+        n_actions: 4,
+        hidden: vec![32, 16],
+        gamma: 0.9,
+        lr: 2e-3,
+        batch_size: 32,
+        target_sync_every: 50,
+        buffer_capacity: 500,
+        huber_delta: 1.0,
+        double: true,
+        head,
+        seed: 11,
+    };
+    let mut agent = DqnAgent::new(cfg);
+    let mut gen = lcg_stream(3);
+    for i in 0..80 {
+        agent.remember(Transition {
+            state: (0..6).map(|_| gen()).collect(),
+            action: i % 4,
+            reward: gen(),
+            next_state: (0..6).map(|_| gen()).collect(),
+            done: i % 6 == 0,
+            next_mask: 0b1111,
+        });
+    }
+    agent
+}
+
+#[test]
+fn batched_learning_step_matches_per_sample_weights() {
+    for head in [Head::Plain, Head::Dueling] {
+        let mut batched = seeded_agent(head);
+        let mut serial = seeded_agent(head);
+        for _ in 0..8 {
+            batched.learn().expect("batched learn");
+            serial.learn_per_sample().expect("per-sample learn");
+        }
+        let mut wb = Vec::new();
+        batched.online_net().write_params(&mut wb);
+        let mut ws = Vec::new();
+        serial.online_net().write_params(&mut ws);
+        for (i, (a, e)) in wb.iter().zip(ws.iter()).enumerate() {
+            assert!(
+                (a - e).abs() < 1e-5,
+                "{head:?} param {i}: batched {a} vs per-sample {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_eval_throughput() {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    let mut cfg = TrainConfig::quick();
+    cfg.episodes = 12;
+
+    let mut throughputs = Vec::new();
+    for n_workers in [1usize, 4] {
+        cfg.n_workers = n_workers;
+        let (trained, _) = train(&suite, cfg.clone());
+        let mut gen = QueueGenerator::new(77);
+        let queue = gen.category_queue(&suite, "det", cfg.w, MixCategory::Balanced, false);
+        let decision = trained.greedy_decision(
+            &suite,
+            &queue,
+            &hrp::gpusim::engine::EngineConfig::default(),
+        );
+        let m = evaluate_decision("det", &suite, &queue, &decision);
+        throughputs.push(m.throughput);
+    }
+    assert_eq!(
+        throughputs[0], throughputs[1],
+        "1-worker and 4-worker training must yield identical eval throughput"
+    );
+}

@@ -17,7 +17,14 @@ fn full_pipeline_beats_time_sharing() {
     // Schedule a window containing unseen (starred) programs.
     let queue = JobQueue::from_names(
         "integration",
-        &["bt_solver_A", "cfd", "kmeans", "needle", "sp_solver_B", "backprop"],
+        &[
+            "bt_solver_A",
+            "cfd",
+            "kmeans",
+            "needle",
+            "sp_solver_B",
+            "backprop",
+        ],
         &suite,
     );
     let policy = MigMpsRl::new(trained);
@@ -40,7 +47,14 @@ fn all_five_policies_produce_valid_decisions() {
     let suite = suite();
     let queue = JobQueue::from_names(
         "five",
-        &["lavaMD", "stream", "kmeans", "pathfinder", "lud_A", "qs_Coral_P1"],
+        &[
+            "lavaMD",
+            "stream",
+            "kmeans",
+            "pathfinder",
+            "lud_A",
+            "qs_Coral_P1",
+        ],
         &suite,
     );
     let ctx = ScheduleContext::new(&suite, &queue, 4);
@@ -88,14 +102,28 @@ fn online_system_with_trained_policy() {
     let policy = MigMpsRl::new(trained);
     let mut sys = OnlineSystem::new(&suite, policy, &repo, profiler, 6, 4);
     for name in [
-        "lavaMD", "stream", "kmeans", "cfd", "pathfinder", "lud_A",
-        "bt_solver_A", "sp_solver_B", "qs_Coral_P2", "dwt2d", "needle", "gaussian",
+        "lavaMD",
+        "stream",
+        "kmeans",
+        "cfd",
+        "pathfinder",
+        "lud_A",
+        "bt_solver_A",
+        "sp_solver_B",
+        "qs_Coral_P2",
+        "dwt2d",
+        "needle",
+        "gaussian",
     ] {
         sys.submit(name);
     }
     let report = sys.finish();
     assert_eq!(report.profiling_runs(), 0, "warm repo: no cold starts");
-    assert!(report.overall_gain() > 1.0, "gain {}", report.overall_gain());
+    assert!(
+        report.overall_gain() > 1.0,
+        "gain {}",
+        report.overall_gain()
+    );
 }
 
 #[test]

@@ -34,7 +34,9 @@ fn arb_app() -> impl Strategy<Value = AppModel> {
 fn arb_shares(n: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(1u32..=10, n).prop_map(|ws| {
         let total: u32 = ws.iter().sum();
-        ws.iter().map(|&w| f64::from(w) / f64::from(total)).collect()
+        ws.iter()
+            .map(|&w| f64::from(w) / f64::from(total))
+            .collect()
     })
 }
 

@@ -1,0 +1,136 @@
+//! Offline stand-in for `criterion`: the `Criterion`/`Bencher` API with
+//! `criterion_group!`/`criterion_main!`, backed by a small but honest
+//! harness — per-benchmark warm-up, automatic iteration-count calibration,
+//! and a median-of-samples estimate. Output goes to stdout as
+//! `name … median time/iter (min … max over S samples)`.
+//!
+//! Benchmarks keep `harness = false` in their manifests exactly as with
+//! real criterion, so swapping the upstream crate back in is a
+//! one-line change.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+/// Warm-up time per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+/// Samples collected per benchmark.
+const SAMPLES: usize = 11;
+
+/// Drives one benchmark's timed closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibrate: find an iteration count that takes a meaningful
+        // slice of the target time, warming the code up along the way.
+        let mut iters = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed * 10 >= MEASURE_TARGET || warm_start.elapsed() >= WARMUP_TARGET {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX)
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<44} {:>12}/iter  (min {} … max {}, {} iters × {} samples)",
+            fmt_duration(median),
+            fmt_duration(samples[0]),
+            fmt_duration(*samples.last().expect("samples")),
+            iters,
+            SAMPLES,
+        );
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

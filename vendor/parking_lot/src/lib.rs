@@ -1,0 +1,51 @@
+//! Offline stand-in for `parking_lot`: the `RwLock` API this workspace
+//! uses, backed by `std::sync::RwLock`. Like parking_lot, `read`/`write`
+//! do not return poison results; a poisoned lock panics (a panicked
+//! writer already aborts the test run anyway).
+
+#![warn(missing_docs)]
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Reader-writer lock with parking_lot's panic-free guard API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// New lock wrapping `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().expect("poisoned RwLock")
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("poisoned RwLock")
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("poisoned RwLock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let l = RwLock::new(1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! forward compatibility, but nothing actually serialises through serde
+//! (tables are hand-rolled TSV, weight snapshots are hand-rolled byte
+//! blobs). With no crates.io access in the build container, this shim
+//! provides the two traits as markers plus no-op derive macros, so the
+//! derives stay in place and real serde can be swapped back in by
+//! pointing the workspace dependency at crates.io.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in: each derive emits an empty marker-trait impl for the
+//! annotated type. Only plain (non-generic) structs and enums are
+//! supported — which covers every derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum` keyword, skipping
+/// attributes, doc comments, and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+                panic!("expected a type name after `{s}`");
+            }
+        }
+    }
+    panic!("derive input has no struct/enum keyword");
+}
+
+/// Implements the marker `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Implements the marker `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
