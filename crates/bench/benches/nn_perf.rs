@@ -9,8 +9,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hrp_nn::net::{Head, QNet};
-use hrp_nn::replay::Transition;
+use hrp_nn::replay::{MiniBatch, ReplayBuffer, Transition};
+use hrp_nn::sharded::ShardedReplay;
 use hrp_nn::{DqnAgent, DqnConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 const STATE_DIM: usize = 204; // W=12 × 17 features
 const BATCH: usize = 32;
@@ -100,30 +103,65 @@ fn bench_backward_batched_vs_per_sample(c: &mut Criterion) {
     });
 }
 
-fn filled_agent() -> DqnAgent {
-    let cfg = DqnConfig::paper(STATE_DIM, 29);
+fn sample_transition(i: usize) -> Transition {
+    Transition {
+        state: vec![0.1 * (i % 7) as f32; STATE_DIM],
+        action: i % 29,
+        reward: 1.0,
+        next_state: vec![0.1; STATE_DIM],
+        done: i.is_multiple_of(3),
+        next_mask: u64::MAX >> (64 - 29),
+    }
+}
+
+fn filled_agent(shards: usize) -> DqnAgent {
+    let mut cfg = DqnConfig::paper(STATE_DIM, 29);
+    cfg.shards = shards;
     let mut agent = DqnAgent::new(cfg);
     for i in 0..64 {
-        agent.remember(Transition {
-            state: vec![0.1 * (i % 7) as f32; STATE_DIM],
-            action: i % 29,
-            reward: 1.0,
-            next_state: vec![0.1; STATE_DIM],
-            done: i % 3 == 0,
-            next_mask: u64::MAX >> (64 - 29),
-        });
+        agent.remember_to(i % shards, sample_transition(i));
     }
     agent
 }
 
 fn bench_learn_step(c: &mut Criterion) {
-    let mut agent = filled_agent();
+    let mut agent = filled_agent(1);
     c.bench_function("dqn_learn_step_batch32", |b| {
         b.iter(|| black_box(agent.learn()))
     });
-    let mut agent = filled_agent();
+    let mut agent = filled_agent(1);
     c.bench_function("dqn_learn_step_per_sample_x32", |b| {
         b.iter(|| black_box(agent.learn_per_sample()))
+    });
+}
+
+/// `sharded_vs_single`: the learner-side cost of the replay path — the
+/// single ring every learner sample serialises on vs the stratified
+/// sharded draw — in isolation and through a full DQN learning step.
+fn bench_sharded_vs_single(c: &mut Criterion) {
+    let mut single = ReplayBuffer::new(20_000);
+    let mut sharded = ShardedReplay::new(20_000, 4);
+    for i in 0..4096 {
+        single.push(sample_transition(i));
+        sharded.push_to(i % 4, sample_transition(i));
+    }
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut mb = MiniBatch::new();
+    c.bench_function("replay_sample32_single_ring", |b| {
+        b.iter(|| {
+            single.sample_into(BATCH, &mut rng, &mut mb);
+            black_box(mb.len)
+        })
+    });
+    c.bench_function("replay_sample32_sharded4", |b| {
+        b.iter(|| {
+            sharded.sample_into(BATCH, &mut rng, &mut mb);
+            black_box(mb.len)
+        })
+    });
+    let mut agent = filled_agent(4);
+    c.bench_function("dqn_learn_step_sharded4_batch32", |b| {
+        b.iter(|| black_box(agent.learn()))
     });
 }
 
@@ -134,5 +172,6 @@ criterion_group!(
     bench_backward,
     bench_backward_batched_vs_per_sample,
     bench_learn_step,
+    bench_sharded_vs_single,
 );
 criterion_main!(benches);

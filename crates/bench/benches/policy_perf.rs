@@ -1,8 +1,10 @@
 //! Criterion benchmarks for the scheduling policies: the exhaustive
 //! baselines' set-partition DP (the paper's offline search cost), a
 //! single group evaluation with assignment search, the RL environment's
-//! state encoding (fresh-allocation vs caller-buffer paths), and the
-//! bounded parallel evaluation fan-out.
+//! state encoding (fresh-allocation vs caller-buffer paths), the
+//! bounded parallel evaluation fan-out, and the `sharded_vs_single`
+//! training-pipeline comparison (barrier + single ring vs overlapped
+//! rounds + sharded replay).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hrp_core::actions::ActionCatalog;
@@ -120,6 +122,41 @@ fn bench_parallel_eval(c: &mut Criterion) {
     });
 }
 
+/// `sharded_vs_single`: one small end-to-end training run per iteration,
+/// barrier pipeline on a single replay ring vs overlapped rounds on a
+/// 4-way sharded replay. On multi-core hosts the overlapped run hides
+/// the learner's gradient time behind the next round's rollouts; on a
+/// single hardware thread the two collapse to the same wall-clock (the
+/// semantics stay deterministic either way).
+fn bench_train_sharded_vs_single(c: &mut Criterion) {
+    use hrp_core::train::{train, TrainConfig};
+    let (suite, _) = fixture();
+    let base = TrainConfig {
+        episodes: 12,
+        n_queues: 4,
+        hidden: vec![32, 16],
+        rollout_round: 4,
+        n_workers: 0,
+        ..TrainConfig::quick()
+    };
+    let barrier = TrainConfig {
+        overlap: false,
+        shards: 1,
+        ..base.clone()
+    };
+    c.bench_function("train12_barrier_single_ring", |b| {
+        b.iter(|| black_box(train(&suite, barrier.clone()).1.total_steps))
+    });
+    let overlapped = TrainConfig {
+        overlap: true,
+        shards: 4,
+        ..base
+    };
+    c.bench_function("train12_overlapped_sharded4", |b| {
+        b.iter(|| black_box(train(&suite, overlapped.clone()).1.total_steps))
+    });
+}
+
 criterion_group!(
     benches,
     bench_mps_only_w8,
@@ -128,5 +165,6 @@ criterion_group!(
     bench_subset_enumeration,
     bench_state_encoding,
     bench_parallel_eval,
+    bench_train_sharded_vs_single,
 );
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] [--out DIR] <command>
+//! repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] [--out DIR] <command>
 //!
 //! commands:
 //!   table4    benchmark classification (Table IV)
@@ -24,6 +24,10 @@
 //! defaults reproduce the paper-scale configuration. `--threads N` caps
 //! the rollout/evaluation worker threads (default: available
 //! parallelism); results are identical for any thread count.
+//! `--overlap` double-buffers training rounds (one round of policy
+//! staleness, learner latency hidden behind rollouts) and `--shards N`
+//! shards the replay path; both change training semantics
+//! deterministically — see `ARCHITECTURE.md`.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -46,6 +50,10 @@ struct Options {
     out: Option<PathBuf>,
     /// Rollout/evaluation worker threads (0 = available parallelism).
     threads: usize,
+    /// Double-buffered (overlapped) training rounds.
+    overlap: bool,
+    /// Replay shards (1 = classic single ring).
+    shards: usize,
 }
 
 impl Options {
@@ -53,6 +61,8 @@ impl Options {
         let mut cfg = TrainConfig::paper();
         cfg.seed = self.seed;
         cfg.n_workers = self.threads;
+        cfg.overlap = self.overlap;
+        cfg.shards = self.shards;
         if self.quick {
             cfg.hidden = vec![128, 64];
             cfg.episodes = 400;
@@ -79,6 +89,8 @@ fn main() {
         seed: 42,
         out: Some(PathBuf::from("results")),
         threads: 0,
+        overlap: false,
+        shards: 1,
     };
     let mut cmd = None;
     let mut i = 0;
@@ -113,6 +125,19 @@ fn main() {
                     .expect("--threads needs a number");
                 args.remove(i);
             }
+            "--overlap" => {
+                opts.overlap = true;
+                args.remove(i);
+            }
+            "--shards" => {
+                args.remove(i);
+                opts.shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--shards needs a positive number");
+                args.remove(i);
+            }
             other => {
                 cmd = Some(other.to_owned());
                 i += 1;
@@ -120,7 +145,10 @@ fn main() {
         }
     }
     let cmd = cmd.unwrap_or_else(|| {
-        eprintln!("usage: repro [--quick] [--seed N] [--threads N] [--out DIR|--no-out] <command>");
+        eprintln!(
+            "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
+             [--out DIR|--no-out] <command>"
+        );
         eprintln!("commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12");
         eprintln!("          overhead ablate-reward ablate-agent ablate-interference all");
         std::process::exit(2);

@@ -10,7 +10,9 @@
 //! * [`report`] — TSV table assembly and file output.
 //!
 //! The `repro` binary stitches these into one subcommand per figure and
-//! table of the paper; `EXPERIMENTS.md` records the outputs.
+//! table of the paper, emitting TSV tables under `results/` (see the
+//! README's "Reproducing the paper" section for flags, including the
+//! `--overlap`/`--shards` training-pipeline knobs).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

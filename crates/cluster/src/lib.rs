@@ -15,7 +15,10 @@
 //! * [`cosched`] — the co-scheduling dispatcher: single-GPU jobs are
 //!   batched into windows and handed to any node-local
 //!   [`hrp_core::policies::Policy`]; multi-GPU jobs gang-schedule
-//!   exclusively (the paper flags co-locating them as future work);
+//!   exclusively (the paper flags co-locating them as future work).
+//!   Crowded backlogs drain their windows through a parallel planner
+//!   ([`CoSchedulingDispatcher::with_threads`]) that is schedule-
+//!   identical to the serial drain for any thread count;
 //! * [`select`] — the queue-pressure policy selector of §VI.
 
 #![warn(missing_docs)]

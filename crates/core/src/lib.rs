@@ -14,11 +14,17 @@
 //!
 //! The solution mirrors the paper's architecture (Fig. 7):
 //!
-//! * [`env`] — the RL environment: window state encoding `W × (f + 5)`,
+//! * [`mod@env`] — the RL environment: window state encoding `W × (f + 5)`,
 //!   a 29-entry action catalog ([`actions`]), and the two-part reward of
 //!   Table VI ([`reward`]);
-//! * [`train`] — offline training of a dueling double DQN over randomly
-//!   generated job queues;
+//! * [`mod@train`] — offline training of a dueling double DQN over randomly
+//!   generated job queues, run as a parallel rollout/learner pipeline
+//!   with optional double-buffered (overlapped) rounds and sharded
+//!   replay — bit-identical for any worker count (see
+//!   `ARCHITECTURE.md`, "Determinism contract");
+//! * [`par`] — the bounded scoped-parallelism primitive
+//!   ([`par::parallel_map`]) the rollout, evaluation, and cluster
+//!   window-drain fan-outs share;
 //! * [`policies`] — the five compared methods of §V-A4: `TimeSharing`,
 //!   `MigOnly (C=2)`, `MpsOnly`, `MigMpsDefault`, and `MigMpsRl`;
 //! * [`exhaustive`] — the set-partition dynamic program used to give the

@@ -29,7 +29,16 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// index order.
 ///
 /// `f` runs concurrently on distinct indices; each output lands in its
-/// index's slot, so the result is independent of scheduling order.
+/// index's slot, so the result is independent of scheduling order:
+///
+/// ```
+/// use hrp_core::par::parallel_map;
+///
+/// let serial = parallel_map(8, 1, |i| i * i);
+/// let fanned = parallel_map(8, 4, |i| i * i);
+/// assert_eq!(serial, fanned);
+/// assert_eq!(fanned, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,

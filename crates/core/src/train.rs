@@ -19,15 +19,30 @@
 //!    `(seed, episode)`**, streaming finished episodes through an mpsc
 //!    channel;
 //! 3. the single learner thread consumes episodes **in episode order**
-//!    (buffering out-of-order arrivals), pushes their transitions into
-//!    replay, and runs two batched gradient steps per environment step —
-//!    overlapping with the workers still rolling the rest of the round.
+//!    (buffering out-of-order arrivals), routes their transitions into
+//!    the replay shard `episode % shards` (see
+//!    [`hrp_nn::ShardedReplay`]), and runs two batched gradient steps
+//!    per environment step — overlapping with the workers still rolling
+//!    the rest of the round.
 //!
-//! Because every episode's rollout depends only on the round snapshot
-//! and its own seed, and the learner consumes in a fixed order, the
-//! trained weights are **bit-identical for any worker count**: worker
-//! parallelism is an execution detail, not a semantic knob. This is the
-//! property the `training_invariant_to_worker_count` test pins down.
+//! With [`TrainConfig::overlap`] **off** (the barrier pipeline), round
+//! `r + 1` only starts after round `r` is fully learned, so workers
+//! always roll against the freshest weights. With overlap **on**
+//! (double-buffered snapshots), round `r + 1` is launched *before* the
+//! learner consumes round `r`: its snapshot reflects learning through
+//! round `r − 1`, hiding the learner's gradient work behind the next
+//! round's rollouts at a **policy staleness of exactly one round** —
+//! measured by [`TrainReport::max_snapshot_lag`] (`0` barrier, `1`
+//! overlapped) and pinned by the staleness tests.
+//!
+//! Because every episode's rollout depends only on its round's snapshot
+//! (a deterministic function of which rounds were learned at spawn
+//! time) and its own seed, and the learner consumes in a fixed order,
+//! the trained weights are **bit-identical for any worker count** in
+//! both modes: worker parallelism is an execution detail, not a
+//! semantic knob. The `overlap`/`shards` pair *is* semantic (one round
+//! of staleness, stratified sampling) — which is why the barrier
+//! pipeline stays selectable for equivalence testing.
 
 use crate::actions::ActionCatalog;
 use crate::env::{CoScheduleEnv, EnvConfig, JOB_FEATURES};
@@ -44,9 +59,27 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 /// Training configuration.
+///
+/// [`TrainConfig::paper`] is the paper's Table VI setup with the
+/// conservative pipeline (barrier rounds, single replay ring);
+/// [`TrainConfig::quick`] shrinks it for tests. The scaling knobs
+/// compose freely:
+///
+/// ```
+/// use hrp_core::train::TrainConfig;
+///
+/// let cfg = TrainConfig {
+///     n_workers: 4,  // execution detail: results identical for any value
+///     overlap: true, // semantic: one round of policy staleness
+///     shards: 4,     // semantic: stratified sampling over 4 rings
+///     ..TrainConfig::paper()
+/// };
+/// assert_eq!(cfg.w, 12);
+/// assert_eq!(cfg.hidden, vec![512, 256, 128]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Window size `W`.
@@ -92,6 +125,18 @@ pub struct TrainConfig {
     /// training semantics (unlike `n_workers`): it bounds both policy
     /// staleness and the worker parallelism usable per round.
     pub rollout_round: usize,
+    /// Overlap training rounds (double-buffered snapshots): roll round
+    /// `r + 1` against the weights learned through round `r − 1` while
+    /// the learner consumes round `r`. Hides learner latency behind
+    /// rollouts at a fixed policy staleness of exactly one round; `false`
+    /// keeps the hard rollout/learn barrier (the PR 1 pipeline).
+    pub overlap: bool,
+    /// Replay shards ([`hrp_nn::ShardedReplay`]): transitions are routed
+    /// by episode index and minibatches drawn stratified across shards.
+    /// `1` reproduces the single-ring sampling bit-for-bit; values `> 1`
+    /// change the sampling schedule (semantic, like `overlap`) but stay
+    /// invariant to the worker count.
+    pub shards: usize,
 }
 
 impl TrainConfig {
@@ -117,14 +162,16 @@ impl TrainConfig {
             // allocations (SmAllocRatio = 1 for solo runs), so the
             // measured-throughput reward r_f carries the signal and r_i
             // is a small shaping term; the paper does not publish its
-            // scaling, see DESIGN.md. (r_i still fully controls job→slot
-            // binding regardless of this weight.)
+            // scaling. (r_i still fully controls job→slot binding
+            // regardless of this weight.)
             ri_weight: 0.05,
             rf_weight: 0.05,
             engine: EngineConfig::default(),
             eps_end: 0.01,
             n_workers: 0,
             rollout_round: 8,
+            overlap: false,
+            shards: 1,
         }
     }
 
@@ -223,6 +270,11 @@ pub struct TrainReport {
     pub late_return: f64,
     /// Mean measured throughput gain (r_f) per group in the last 10%.
     pub late_rf: f64,
+    /// Maximum observed policy staleness, in rounds: for each round, how
+    /// many rounds had been *rolled out but not yet learned* when its
+    /// snapshot was frozen. `0` for the barrier pipeline, exactly `1`
+    /// for [`TrainConfig::overlap`] (from the second round on).
+    pub max_snapshot_lag: usize,
 }
 
 /// A completed rollout, queued for the learner.
@@ -230,6 +282,57 @@ struct EpisodeResult {
     transitions: Vec<Transition>,
     ep_return: f64,
     rfs: Vec<f64>,
+}
+
+/// An in-flight rollout round: its episode stream plus identity. In
+/// overlap mode one of these is pending while the next round's workers
+/// are already rolling.
+struct InflightRound {
+    rx: mpsc::Receiver<(usize, EpisodeResult)>,
+    start: usize,
+    len: usize,
+}
+
+/// The learner's mutable accumulators. Only the training thread touches
+/// them; rollout workers communicate exclusively through the round
+/// channel, so consumption order — and therefore every weight update —
+/// is a pure function of the episode stream.
+struct LearnerState {
+    agent: DqnAgent,
+    shards: usize,
+    step_count: u64,
+    returns: Vec<f64>,
+    rf_hist: Vec<(usize, f64)>,
+}
+
+impl LearnerState {
+    /// Drain one round: consume episodes **in episode order** (buffering
+    /// out-of-order arrivals), route transitions to replay shard
+    /// `episode % shards`, and take two batched gradient steps per
+    /// environment step.
+    fn consume(&mut self, round: InflightRound) {
+        let mut stash: BTreeMap<usize, EpisodeResult> = BTreeMap::new();
+        let mut next_to_learn = round.start;
+        for (ep, result) in round.rx {
+            stash.insert(ep, result);
+            while let Some(result) = stash.remove(&next_to_learn) {
+                for (t, rf) in result.transitions.into_iter().zip(result.rfs) {
+                    self.rf_hist.push((next_to_learn, rf));
+                    self.agent.remember_to(next_to_learn % self.shards, t);
+                    // Two gradient steps per environment step: co-runs
+                    // are expensive to "measure", batched gradients are
+                    // cheap.
+                    self.agent.learn();
+                    self.agent.learn();
+                    self.step_count += 1;
+                }
+                self.returns.push(result.ep_return);
+                next_to_learn += 1;
+            }
+        }
+        assert!(stash.is_empty(), "rollout worker lost an episode");
+        assert_eq!(next_to_learn, round.start + round.len);
+    }
 }
 
 /// Per-episode RNG stream: independent of worker count and of every
@@ -284,7 +387,31 @@ fn rollout_episode(
     }
 }
 
-/// Run offline training.
+/// Run offline training: the paper's Fig. 7 left half, executed as the
+/// rollout/learner pipeline described in the [module docs](self).
+///
+/// Returns the deployable [`TrainedAgent`] plus a [`TrainReport`] of
+/// learning statistics. For a fixed config the result is bit-identical
+/// on every machine and for every [`TrainConfig::n_workers`] value;
+/// [`TrainConfig::overlap`] and [`TrainConfig::shards`] change the
+/// result (deterministically) because staleness and sampling order are
+/// training semantics.
+///
+/// ```no_run
+/// use hrp_core::train::{train, TrainConfig};
+/// use hrp_gpusim::GpuArch;
+/// use hrp_workloads::Suite;
+///
+/// let suite = Suite::paper_suite(&GpuArch::a100());
+/// let cfg = TrainConfig {
+///     overlap: true,
+///     shards: 4,
+///     ..TrainConfig::quick()
+/// };
+/// let (trained, report) = train(&suite, cfg);
+/// assert!(report.max_snapshot_lag <= 1);
+/// assert!(trained.dqn().learn_steps() > 0);
+/// ```
 ///
 /// # Panics
 /// Panics if a rollout worker panics (environment invariant violation).
@@ -308,6 +435,7 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
         batch_size: cfg.batch_size,
         target_sync_every: cfg.target_sync_every,
         buffer_capacity: cfg.buffer_capacity,
+        shards: cfg.shards.max(1),
         huber_delta: 1.0,
         double: cfg.double,
         head: if cfg.dueling {
@@ -317,19 +445,8 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
         },
         seed: cfg.seed,
     };
-    let mut agent = DqnAgent::new(dqn_cfg);
-    // The frozen policy the round's workers act against.
-    let mut snapshot = QNet::new(
-        cfg.w * JOB_FEATURES,
-        &cfg.hidden,
-        catalog.len(),
-        if cfg.dueling {
-            Head::Dueling
-        } else {
-            Head::Plain
-        },
-        cfg.seed,
-    );
+    let shards = dqn_cfg.shards;
+    let agent = DqnAgent::new(dqn_cfg);
 
     // ε decays over the first ~half of the expected steps, leaving the
     // rest for near-greedy fine-tuning.
@@ -342,23 +459,48 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
 
     let round_len_cfg = cfg.rollout_round.max(1);
     let workers = resolve_threads(cfg.n_workers);
-    let mut step_count = 0u64;
-    let mut returns = Vec::with_capacity(cfg.episodes);
-    let mut rf_hist = Vec::new();
+    let mut learner = LearnerState {
+        agent,
+        shards,
+        step_count: 0,
+        returns: Vec::with_capacity(cfg.episodes),
+        rf_hist: Vec::new(),
+    };
+    let mut max_snapshot_lag = 0usize;
 
-    let mut round_start = 0usize;
-    while round_start < cfg.episodes {
-        let round_len = round_len_cfg.min(cfg.episodes - round_start);
-        snapshot.copy_weights_from(agent.online_net());
-        let base_step = step_count;
-        let next_episode = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, EpisodeResult)>();
+    // One scope spans all rounds so that, in overlap mode, the workers
+    // of round r + 1 can already be rolling while round r is consumed.
+    // Snapshots and the episode queue are Arc'd because two rounds'
+    // workers are alive at once.
+    std::thread::scope(|scope| {
+        let mut inflight: Option<InflightRound> = None;
+        let mut spawned_rounds = 0usize;
+        let mut learned_rounds = 0usize;
+        let mut round_start = 0usize;
+        while round_start < cfg.episodes {
+            let round_len = round_len_cfg.min(cfg.episodes - round_start);
+            if !cfg.overlap {
+                // Barrier pipeline: finish learning the previous round
+                // before freezing this round's snapshot.
+                if let Some(prev) = inflight.take() {
+                    learner.consume(prev);
+                    learned_rounds += 1;
+                }
+            }
 
-        std::thread::scope(|scope| {
+            // Freeze the snapshot the round's workers act against. In
+            // overlap mode the previous round is still unlearned here,
+            // so the snapshot lags by exactly one round.
+            let snapshot = Arc::new(learner.agent.online_net().clone());
+            max_snapshot_lag = max_snapshot_lag.max(spawned_rounds - learned_rounds);
+
+            let base_step = learner.step_count;
+            let next_episode = Arc::new(AtomicUsize::new(0));
+            let (tx, rx) = mpsc::channel::<(usize, EpisodeResult)>();
             for _ in 0..workers.min(round_len) {
                 let tx = tx.clone();
-                let next_episode = &next_episode;
-                let snapshot = &snapshot;
+                let next_episode = Arc::clone(&next_episode);
+                let snapshot = Arc::clone(&snapshot);
                 let queues = &queues;
                 let repo = &repo;
                 let scaler = &scaler;
@@ -379,7 +521,7 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
                         scaler,
                         catalog,
                         env_cfg.clone(),
-                        snapshot,
+                        &snapshot,
                         eps,
                         base_step,
                         episode_rng(seed, ep),
@@ -390,35 +532,36 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
                 });
             }
             drop(tx);
+            let this = InflightRound {
+                rx,
+                start: round_start,
+                len: round_len,
+            };
+            spawned_rounds += 1;
 
-            // The learner: consume episodes in episode order, buffering
-            // any that finish early, and train while later episodes of
-            // the round are still rolling.
-            let mut stash: BTreeMap<usize, EpisodeResult> = BTreeMap::new();
-            let mut next_to_learn = round_start;
-            for (ep, result) in rx {
-                stash.insert(ep, result);
-                while let Some(result) = stash.remove(&next_to_learn) {
-                    for (t, rf) in result.transitions.into_iter().zip(result.rfs) {
-                        rf_hist.push((next_to_learn, rf));
-                        agent.remember(t);
-                        // Two gradient steps per environment step:
-                        // co-runs are expensive to "measure", batched
-                        // gradients are cheap.
-                        agent.learn();
-                        agent.learn();
-                        step_count += 1;
-                    }
-                    returns.push(result.ep_return);
-                    next_to_learn += 1;
+            if cfg.overlap {
+                // Double buffering: learn the previous round while this
+                // round's workers roll against their (one-round-stale)
+                // snapshot.
+                if let Some(prev) = inflight.take() {
+                    learner.consume(prev);
+                    learned_rounds += 1;
                 }
             }
-            assert!(stash.is_empty(), "rollout worker lost an episode");
-            assert_eq!(next_to_learn, round_start + round_len);
-        });
-
-        round_start += round_len;
-    }
+            inflight = Some(this);
+            round_start += round_len;
+        }
+        if let Some(last) = inflight.take() {
+            learner.consume(last);
+        }
+    });
+    let LearnerState {
+        agent,
+        step_count,
+        returns,
+        rf_hist,
+        ..
+    } = learner;
 
     let tenth = (cfg.episodes / 10).max(1);
     let early_return = returns.iter().take(tenth).sum::<f64>() / tenth as f64;
@@ -441,6 +584,7 @@ pub fn train(suite: &Suite, cfg: TrainConfig) -> (TrainedAgent, TrainReport) {
         early_return,
         late_return,
         late_rf,
+        max_snapshot_lag,
     };
     (
         TrainedAgent {
@@ -523,6 +667,69 @@ mod tests {
             trained_1.dqn().q_values(&probe),
             trained_4.dqn().q_values(&probe),
             "weights must match across worker counts"
+        );
+    }
+
+    #[test]
+    fn overlapped_training_invariant_to_worker_count() {
+        // The double-buffered pipeline keeps the same guarantee: with
+        // overlap on and sharded replay, weights are still bit-identical
+        // for any worker count.
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let mut cfg = TrainConfig::quick();
+        cfg.episodes = 16;
+        cfg.rollout_round = 4;
+        cfg.overlap = true;
+        cfg.shards = 4;
+        cfg.n_workers = 1;
+        let (trained_1, r1) = train(&suite, cfg.clone());
+        cfg.n_workers = 4;
+        let (trained_4, r4) = train(&suite, cfg);
+        assert_eq!(r1, r4, "overlap reports must match across worker counts");
+        let probe = vec![0.25f32; trained_1.config().w * JOB_FEATURES];
+        assert_eq!(
+            trained_1.dqn().q_values(&probe),
+            trained_4.dqn().q_values(&probe),
+            "overlap weights must match across worker counts"
+        );
+    }
+
+    #[test]
+    fn single_round_overlap_equals_barrier_exactly() {
+        // With everything in one round there is no previous round to
+        // overlap with, so the two pipelines must coincide bit-for-bit —
+        // the code-path equivalence check between overlap=true and the
+        // PR 1 barrier pipeline.
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let mut cfg = TrainConfig::quick();
+        cfg.episodes = 8;
+        cfg.rollout_round = 8;
+        cfg.overlap = false;
+        let (trained_b, rb) = train(&suite, cfg.clone());
+        cfg.overlap = true;
+        let (trained_o, ro) = train(&suite, cfg);
+        assert_eq!(rb, ro);
+        let probe = vec![0.25f32; trained_b.config().w * JOB_FEATURES];
+        assert_eq!(
+            trained_b.dqn().q_values(&probe),
+            trained_o.dqn().q_values(&probe)
+        );
+    }
+
+    #[test]
+    fn snapshot_staleness_is_exactly_one_round_under_overlap() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let mut cfg = TrainConfig::quick();
+        cfg.episodes = 24;
+        cfg.rollout_round = 8;
+        cfg.overlap = false;
+        let (_, barrier) = train(&suite, cfg.clone());
+        assert_eq!(barrier.max_snapshot_lag, 0, "barrier must never lag");
+        cfg.overlap = true;
+        let (_, overlapped) = train(&suite, cfg);
+        assert_eq!(
+            overlapped.max_snapshot_lag, 1,
+            "overlap staleness is bounded at exactly one round"
         );
     }
 }

@@ -13,7 +13,8 @@
 
 use crate::net::{Head, QNet};
 use crate::opt::Adam;
-use crate::replay::{MiniBatch, ReplayBuffer, Transition};
+use crate::replay::{MiniBatch, Transition};
+use crate::sharded::ShardedReplay;
 use crate::tensor::{masked_argmax, masked_argmax_batch, masked_argmax_tiebreak};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -35,8 +36,12 @@ pub struct DqnConfig {
     pub batch_size: usize,
     /// Sync the target network every this many learning steps.
     pub target_sync_every: u64,
-    /// Replay-buffer capacity.
+    /// Replay-buffer capacity: total across all shards, rounded up to a
+    /// multiple of `shards` (see [`ShardedReplay::new`]).
     pub buffer_capacity: usize,
+    /// Replay shards ([`ShardedReplay`]); `1` = the classic single ring
+    /// with bit-identical sampling.
+    pub shards: usize,
     /// Huber loss transition point.
     pub huber_delta: f32,
     /// Use the double-DQN target (van Hasselt et al.). Off = vanilla DQN.
@@ -60,6 +65,7 @@ impl DqnConfig {
             batch_size: 32,
             target_sync_every: 200,
             buffer_capacity: 20_000,
+            shards: 1,
             huber_delta: 1.0,
             double: true,
             head: Head::Dueling,
@@ -114,7 +120,7 @@ pub struct DqnAgent {
     online: QNet,
     target: QNet,
     adam: Adam,
-    buffer: ReplayBuffer,
+    buffer: ShardedReplay,
     rng: SmallRng,
     learn_steps: u64,
     grad_buf: Vec<f32>,
@@ -149,7 +155,7 @@ impl DqnAgent {
         );
         target.copy_weights_from(&online);
         let adam = Adam::new(online.num_params(), cfg.lr);
-        let buffer = ReplayBuffer::new(cfg.buffer_capacity);
+        let buffer = ShardedReplay::new(cfg.buffer_capacity, cfg.shards.max(1));
         let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed);
         Self {
             cfg,
@@ -207,10 +213,21 @@ impl DqnAgent {
         masked_argmax(&q, |a| mask & (1 << a) != 0).expect("no valid action")
     }
 
-    /// Store a transition.
+    /// Store a transition, routing replay shards round-robin.
     pub fn remember(&mut self, t: Transition) {
         debug_assert_eq!(t.state.len(), self.cfg.state_dim);
         self.buffer.push(t);
+    }
+
+    /// Store a transition in an explicit replay shard. The training
+    /// pipeline routes by **episode index** (`episode % shards`), so
+    /// shard contents are invariant to the rollout worker count.
+    ///
+    /// # Panics
+    /// Panics if `shard >= config().shards`.
+    pub fn remember_to(&mut self, shard: usize, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.cfg.state_dim);
+        self.buffer.push_to(shard, t);
     }
 
     /// Transitions currently stored.
@@ -392,6 +409,7 @@ mod tests {
             batch_size: 16,
             target_sync_every: 25,
             buffer_capacity: 2000,
+            shards: 1,
             huber_delta: 1.0,
             double: true,
             head: Head::Dueling,
@@ -559,6 +577,55 @@ mod tests {
                 (lb - ls).abs() < 1e-5,
                 "step {step}: loss batched {lb} vs per-sample {ls}"
             );
+        }
+        let mut pb = Vec::new();
+        batched.online_net().write_params(&mut pb);
+        let mut ps = Vec::new();
+        serial.online_net().write_params(&mut ps);
+        for (i, (a, e)) in pb.iter().zip(ps.iter()).enumerate() {
+            assert!(
+                (a - e).abs() < 1e-5,
+                "param {i}: batched {a} vs per-sample {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_agent_also_learns_the_chain() {
+        let mut cfg = chain_cfg();
+        cfg.shards = 4;
+        let agent = run_chain(DqnAgent::new(cfg), 300);
+        assert_eq!(agent.greedy_action(&[1.0, 0.0], 0b11), 1);
+        assert_eq!(agent.greedy_action(&[0.0, 1.0], 0b11), 0);
+    }
+
+    #[test]
+    fn sharded_batched_learn_equals_sharded_per_sample_learn() {
+        // The stratified sampling schedule feeds the batched and the
+        // per-sample learning paths identically for shards > 1 too.
+        let mk = || {
+            let mut cfg = chain_cfg();
+            cfg.shards = 4;
+            let mut agent = DqnAgent::new(cfg);
+            for i in 0..48 {
+                agent.remember_to(
+                    i % 4,
+                    Transition {
+                        state: vec![(i % 5) as f32 * 0.2, 1.0 - (i % 3) as f32 * 0.3],
+                        action: i % 2,
+                        reward: (i % 7) as f32 * 0.5 - 1.0,
+                        next_state: vec![(i % 4) as f32 * 0.25, 0.1],
+                        done: i % 5 == 0,
+                        next_mask: 0b11,
+                    },
+                );
+            }
+            agent
+        };
+        let (mut batched, mut serial) = (mk(), mk());
+        for _ in 0..8 {
+            batched.learn().unwrap();
+            serial.learn_per_sample().unwrap();
         }
         let mut pb = Vec::new();
         batched.online_net().write_params(&mut pb);

@@ -17,7 +17,13 @@
 //! * [`opt`] — Adam (Kingma & Ba) over the flattened parameter vector;
 //! * [`replay`] — a ring replay buffer with action masking support and
 //!   contiguous-minibatch sampling ([`replay::MiniBatch`]);
-//! * [`schedule`] — the ε-greedy schedule (1 → 0.01 linear decay);
+//! * [`sharded`] — experience replay sharded into independent rings
+//!   ([`sharded::ShardedReplay`]) with stratified, deterministically
+//!   scheduled minibatch sampling; one shard degenerates bit-for-bit to
+//!   the single ring;
+//! * [`schedule`] — the exploration schedule: linear ε decay from 1.0
+//!   to a configured floor (the paper quotes 0.01; training exposes it
+//!   as `TrainConfig::eps_end`), then ε = 0 online;
 //! * [`dqn`] — the agent: ε-greedy action selection with RNG-stream tie
 //!   breaking, double-DQN targets, Huber loss, periodic target-network
 //!   sync; one `learn()` call runs the whole minibatch batched;
@@ -38,6 +44,7 @@ pub mod opt;
 pub mod replay;
 pub mod schedule;
 pub mod serialize;
+pub mod sharded;
 pub mod tensor;
 
 pub use dqn::{DqnAgent, DqnConfig};
@@ -45,3 +52,4 @@ pub use net::{Head, QNet};
 pub use opt::Adam;
 pub use replay::{MiniBatch, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
+pub use sharded::ShardedReplay;

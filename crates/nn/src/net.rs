@@ -37,6 +37,7 @@ struct DuelingScratch {
 }
 
 #[allow(clippy::large_enum_variant)] // exactly one head lives per net
+#[derive(Clone)]
 enum HeadLayers {
     Plain(Linear),
     Dueling {
@@ -46,7 +47,10 @@ enum HeadLayers {
     },
 }
 
-/// The Q-network.
+/// The Q-network. `Clone` gives an independent full copy (weights plus
+/// scratch) — how the training pipeline freezes per-round policy
+/// snapshots without re-running weight initialisation.
+#[derive(Clone)]
 pub struct QNet {
     trunk: Vec<(Linear, Relu)>,
     head: HeadLayers,

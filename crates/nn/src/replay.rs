@@ -113,6 +113,25 @@ impl ReplayBuffer {
         rng.gen_range(0..self.storage.len())
     }
 
+    /// Draw one uniform storage slot — the per-shard draw of
+    /// [`crate::sharded::ShardedReplay`]; consumes exactly one
+    /// `gen_range` from `rng`, like every draw of [`ReplayBuffer::sample`].
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    #[must_use]
+    pub fn sample_slot(&self, rng: &mut SmallRng) -> usize {
+        assert!(!self.is_empty(), "cannot sample an empty buffer");
+        self.sample_index(rng)
+    }
+
+    /// The transition at storage slot `idx` (`None` beyond
+    /// [`ReplayBuffer::len`]). Slot order is internal to the ring.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<&Transition> {
+        self.storage.get(idx)
+    }
+
     /// Sample `n` transitions uniformly with replacement.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut SmallRng) -> Vec<&'a Transition> {
         assert!(!self.is_empty(), "cannot sample an empty buffer");

@@ -1,6 +1,13 @@
 //! Exploration schedule: the paper sets ε = 1 initially and "gradually
 //! decreases it until it reaches a certain point (e.g. 0.01)", then fixes
 //! ε = 0 for online use.
+//!
+//! The training pipeline exposes the floor as `TrainConfig::eps_end`
+//! (default 0.01) and decays over the first half of the *expected* step
+//! count (`episodes × W / 2`), leaving the rest of training for
+//! near-greedy fine-tuning; ε is evaluated at each episode's **spawn
+//! base step**, so under overlapped rounds the exploration level shares
+//! the policy snapshot's one-round staleness bound.
 
 /// Linear ε decay from `start` to `end` over `decay_steps` steps.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 pub struct Benchmark {
     /// The application model handed to the simulator.
     pub app: AppModel,
-    /// Class per Table IV (validated against [`classify`] in tests).
+    /// Class per Table IV (validated against [`crate::classify`] in tests).
     pub class: Class,
     /// Starred in Table IV: excluded from offline training.
     pub unseen: bool,

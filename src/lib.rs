@@ -10,7 +10,7 @@
 //! a dueling double deep-Q-network trained offline on job profiles.
 //! This workspace rebuilds the whole system — including the A100/MIG/MPS
 //! substrate the paper runs on, which is simulated here (see
-//! `DESIGN.md` for the substitution argument):
+//! `ARCHITECTURE.md` for the crate map and determinism contract):
 //!
 //! * [`gpusim`] — A100-class simulator: MIG placement rules, MPS shares,
 //!   the analytic co-run performance model, a discrete-event engine, and
@@ -20,10 +20,12 @@
 //!   and the Q1–Q12 evaluation queues of Table V.
 //! * [`profile`] — Nsight-Compute-style profiling, the Job Profiles
 //!   Repository, and feature scaling.
-//! * [`nn`] — a from-scratch dueling double DQN (MLP, Adam, replay
-//!   buffer, ε-greedy schedule).
+//! * [`nn`] — a from-scratch dueling double DQN (MLP, Adam, single-ring
+//!   and sharded replay, ε-greedy schedule).
 //! * [`core`] — the paper's contribution: the co-scheduling environment,
-//!   offline training, the five compared policies, and the metrics.
+//!   offline training (a parallel rollout/learner pipeline with optional
+//!   overlapped rounds and sharded replay), the five compared policies,
+//!   and the metrics.
 //! * [`cluster`] — the §VI cluster-scale extension (FCFS+backfilling
 //!   comparator, queue-pressure policy selection).
 //!

@@ -62,6 +62,7 @@ fn seeded_agent(head: Head) -> DqnAgent {
         batch_size: 32,
         target_sync_every: 50,
         buffer_capacity: 500,
+        shards: 1,
         huber_delta: 1.0,
         double: true,
         head,

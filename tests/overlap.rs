@@ -1,0 +1,111 @@
+//! Cross-crate guarantees of the sharded-replay + overlapped-rounds
+//! training pipeline (see `ARCHITECTURE.md`, "Determinism contract"):
+//!
+//! 1. with `overlap = false` and `shards = 1` the pipeline *is* the
+//!    PR 1 barrier pipeline — same replay sampling bit-for-bit, zero
+//!    snapshot lag;
+//! 2. with `overlap = true` the policy staleness is exactly one round,
+//!    never more, and the trained weights stay bit-identical across
+//!    worker counts;
+//! 3. the trained policy reaching the evaluation layer is therefore the
+//!    same object regardless of how many threads trained it.
+
+use hrp::core::env::JOB_FEATURES;
+use hrp::core::metrics::evaluate_decision;
+use hrp::prelude::*;
+
+fn suite() -> Suite {
+    Suite::paper_suite(&GpuArch::a100())
+}
+
+fn overlap_cfg(episodes: usize) -> TrainConfig {
+    TrainConfig {
+        episodes,
+        rollout_round: 4,
+        overlap: true,
+        shards: 4,
+        ..TrainConfig::quick()
+    }
+}
+
+#[test]
+fn barrier_mode_reports_zero_lag_and_stays_reproducible() {
+    let s = suite();
+    let cfg = TrainConfig {
+        episodes: 12,
+        overlap: false,
+        shards: 1,
+        ..TrainConfig::quick()
+    };
+    let (_, r1) = train(&s, cfg.clone());
+    let (_, r2) = train(&s, cfg);
+    assert_eq!(r1, r2, "barrier training must be reproducible");
+    assert_eq!(r1.max_snapshot_lag, 0, "barrier pipeline never lags");
+}
+
+#[test]
+fn overlapped_sharded_training_is_worker_count_invariant_end_to_end() {
+    let s = suite();
+    let mut cfg = overlap_cfg(16);
+
+    let mut evals = Vec::new();
+    let mut probes = Vec::new();
+    for n_workers in [1usize, 4] {
+        cfg.n_workers = n_workers;
+        let (trained, report) = train(&s, cfg.clone());
+        assert_eq!(report.max_snapshot_lag, 1, "workers = {n_workers}");
+        probes.push(trained.dqn().q_values(&vec![0.25f32; cfg.w * JOB_FEATURES]));
+
+        // Carry the policy through to evaluation: identical weights must
+        // yield identical decisions and metrics.
+        let mut gen = QueueGenerator::new(2024);
+        let queue = gen.category_queue(&s, "ov", cfg.w, MixCategory::Balanced, false);
+        let policy = MigMpsRl::new(trained);
+        let ctx = ScheduleContext::new(&s, &queue, cfg.cmax);
+        let decision = policy.schedule(&ctx);
+        decision.validate(&queue, cfg.cmax, false).unwrap();
+        evals.push(evaluate_decision("ov", &s, &queue, &decision).throughput);
+    }
+    assert_eq!(
+        probes[0], probes[1],
+        "weights diverged across worker counts"
+    );
+    assert!(
+        (evals[0] - evals[1]).abs() < 1e-12,
+        "evaluation diverged: {} vs {}",
+        evals[0],
+        evals[1]
+    );
+}
+
+#[test]
+fn overlap_staleness_never_exceeds_one_round() {
+    let s = suite();
+    // Several round sizes, including a final short round.
+    for rollout_round in [3usize, 4, 7] {
+        let cfg = TrainConfig {
+            episodes: 14,
+            rollout_round,
+            ..overlap_cfg(14)
+        };
+        let (_, report) = train(&s, cfg);
+        assert_eq!(
+            report.max_snapshot_lag, 1,
+            "rollout_round = {rollout_round}: staleness must be exactly one round"
+        );
+    }
+}
+
+#[test]
+fn overlapped_training_still_learns() {
+    let s = suite();
+    let (trained, report) = train(&s, overlap_cfg(250));
+    assert!(report.total_steps > 0);
+    assert!(
+        report.late_return >= report.early_return * 0.8,
+        "overlapped training regressed: early {} late {}",
+        report.early_return,
+        report.late_return
+    );
+    assert!(trained.dqn().learn_steps() > 0);
+}

@@ -181,7 +181,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::RangeInclusive;
 
-    /// Length specification for [`vec`]: an exact count or a range.
+    /// Length specification for [`vec()`]: an exact count or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -203,7 +203,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
