@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] [--out DIR] <command>
+//! repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N]
+//!       [--env flat|hierarchical] [--out DIR] <command>
 //!
 //! commands:
 //!   table4    benchmark classification (Table IV)
@@ -16,6 +17,7 @@
 //!   fig11     per-application slowdown
 //!   fig12     fairness
 //!   overhead  online decision latency + offline training cost
+//!   oracle    oracle-greedy reference throughput
 //!   ablate-reward | ablate-agent | ablate-interference
 //!   all       everything above (fig8/11/12 share one training run)
 //! ```
@@ -27,7 +29,14 @@
 //! `--overlap` double-buffers training rounds (one round of policy
 //! staleness, learner latency hidden behind rollouts) and `--shards N`
 //! shards the replay path; both change training semantics
-//! deterministically — see `ARCHITECTURE.md`.
+//! deterministically — see `ARCHITECTURE.md`. `--env hierarchical`
+//! trains the paper's two-level MIG → MPS formulation instead of the
+//! flat 29-action catalog; evaluation tables then carry a flat-trained
+//! reference row alongside the hierarchical agent and the heuristics.
+//!
+//! Malformed invocations (unknown flags or commands, missing or
+//! unparsable values, `--shards 0`, `--env` typos) exit with status 2
+//! and a usage message rather than panicking or silently defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -36,6 +45,7 @@ use hrp_bench::obs::{fig3_mps_sweep, fig4_bandwidth, fig5_variants, FIG5_MIX};
 use hrp_bench::report::{f3, Table};
 use hrp_core::actions::{mig_mps_space, mps_only_space, training_search_space};
 use hrp_core::metrics::arithmetic_mean;
+use hrp_core::rl::EnvKind;
 use hrp_core::train::TrainConfig;
 use hrp_gpusim::mig::valid_gi_combinations;
 use hrp_gpusim::GpuArch;
@@ -54,6 +64,8 @@ struct Options {
     overlap: bool,
     /// Replay shards (1 = classic single ring).
     shards: usize,
+    /// Environment formulation the RL agent trains on.
+    env: EnvKind,
 }
 
 impl Options {
@@ -63,6 +75,7 @@ impl Options {
         cfg.n_workers = self.threads;
         cfg.overlap = self.overlap;
         cfg.shards = self.shards;
+        cfg.env = self.env;
         if self.quick {
             cfg.hidden = vec![128, 64];
             cfg.episodes = 400;
@@ -82,8 +95,35 @@ impl Options {
     }
 }
 
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
+[--env flat|hierarchical] [--out DIR|--no-out] <command>
+commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
+          overhead oracle ablate-reward ablate-agent ablate-interference all";
+
+/// Reject a malformed invocation: message + usage, exit status 2 (never
+/// a panic, never a silent default).
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The value of a flag that requires one, or a usage error.
+fn flag_value<'a, I: Iterator<Item = &'a String>>(args: &mut I, flag: &str) -> &'a str {
+    match args.next() {
+        Some(v) => v,
+        None => fail(&format!("{flag} requires a value")),
+    }
+}
+
+/// Parse a flag value, or a usage error naming the bad input.
+fn parse_flag<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got '{raw}'")))
+}
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Options {
         quick: false,
         seed: 42,
@@ -91,71 +131,55 @@ fn main() {
         threads: 0,
         overlap: false,
         shards: 1,
+        env: EnvKind::Flat,
     };
-    let mut cmd = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => {
-                opts.quick = true;
-                args.remove(i);
-            }
-            "--seed" => {
-                args.remove(i);
-                opts.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a number");
-                args.remove(i);
-            }
-            "--out" => {
-                args.remove(i);
-                opts.out = Some(PathBuf::from(args.get(i).expect("--out needs a dir")));
-                args.remove(i);
-            }
-            "--no-out" => {
-                opts.out = None;
-                args.remove(i);
-            }
+    let mut cmd: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => opts.seed = parse_flag("--seed", flag_value(&mut it, "--seed")),
+            "--out" => opts.out = Some(PathBuf::from(flag_value(&mut it, "--out"))),
+            "--no-out" => opts.out = None,
             "--threads" => {
-                args.remove(i);
-                opts.threads = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--threads needs a number");
-                args.remove(i);
+                opts.threads = parse_flag("--threads", flag_value(&mut it, "--threads"));
             }
-            "--overlap" => {
-                opts.overlap = true;
-                args.remove(i);
-            }
+            "--overlap" => opts.overlap = true,
             "--shards" => {
-                args.remove(i);
-                opts.shards = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n: &usize| n > 0)
-                    .expect("--shards needs a positive number");
-                args.remove(i);
+                let raw = flag_value(&mut it, "--shards");
+                let n: usize = parse_flag("--shards", raw);
+                if n == 0 {
+                    fail("--shards must be at least 1 (got '0')");
+                }
+                opts.shards = n;
             }
+            "--env" => {
+                let raw = flag_value(&mut it, "--env");
+                opts.env = EnvKind::parse(raw).unwrap_or_else(|bad| {
+                    fail(&format!(
+                        "unknown --env value '{bad}' (expected 'flat' or 'hierarchical')"
+                    ))
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag '{flag}'")),
             other => {
-                cmd = Some(other.to_owned());
-                i += 1;
+                if let Some(first) = cmd {
+                    fail(&format!("unexpected argument '{other}' after '{first}'"));
+                }
+                cmd = Some(other);
             }
         }
     }
-    let cmd = cmd.unwrap_or_else(|| {
-        eprintln!(
-            "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
-             [--out DIR|--no-out] <command>"
-        );
-        eprintln!("commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12");
-        eprintln!("          overhead ablate-reward ablate-agent ablate-interference all");
-        std::process::exit(2);
-    });
+    let Some(cmd) = cmd else {
+        fail("missing command");
+    };
 
     let suite = Suite::paper_suite(&GpuArch::a100());
-    match cmd.as_str() {
+    match cmd {
         "table4" => table4(&suite, &opts),
         "table5" => table5(&suite, &opts),
         "table7" => table7(&opts),
@@ -226,10 +250,7 @@ fn main() {
             );
             ablate_interference_cmd(&suite, &opts);
         }
-        other => {
-            eprintln!("unknown command '{other}'");
-            std::process::exit(2);
-        }
+        other => fail(&format!("unknown command '{other}'")),
     }
 }
 
@@ -407,7 +428,10 @@ fn emit_overhead(full: &FullEvaluation, opts: &Options) {
         "online decision latency per window [ms]".into(),
         f3(full.online_decision_ms),
     ]);
-    let mean_window_secs = arithmetic_mean(&full.runs[4].metrics, |m| m.total_time);
+    // The RL row is last (a hierarchical run adds a flat reference row
+    // before it, so the index is not fixed).
+    let rl_run = full.runs.last().expect("runs never empty");
+    let mean_window_secs = arithmetic_mean(&rl_run.metrics, |m| m.total_time);
     t.row(vec![
         "mean window runtime (RL) [s]".into(),
         f3(mean_window_secs),

@@ -13,6 +13,7 @@ use hrp_core::par::parallel_map;
 use hrp_core::policies::{
     MigMpsDefault, MigMpsRl, MigOnly, MpsOnly, Policy, ScheduleContext, TimeSharing,
 };
+use hrp_core::rl::EnvKind;
 use hrp_core::train::{train, TrainConfig, TrainedAgent};
 use hrp_workloads::{queue::table_v_queues, JobQueue, MixCategory, QueueGenerator, Suite};
 use std::time::Instant;
@@ -111,6 +112,11 @@ pub fn eval_policy(
 
 /// Run the complete comparison (Fig. 8/11/12 source data). Evaluation
 /// fan-out reuses the training config's `n_workers` as its thread cap.
+///
+/// With [`TrainConfig::env`] = [`EnvKind::Hierarchical`] the comparison
+/// gains a sixth row: a *flat*-formulation agent is trained with the
+/// same knobs, so the table reports the hierarchical agent alongside
+/// the flat env and the heuristic policies.
 #[must_use]
 pub fn run_full(suite: &Suite, train_cfg: TrainConfig) -> FullEvaluation {
     let w = train_cfg.w;
@@ -119,8 +125,16 @@ pub fn run_full(suite: &Suite, train_cfg: TrainConfig) -> FullEvaluation {
     let queues = evaluation_queues(suite, w, train_cfg.seed);
 
     let t0 = Instant::now();
-    let (trained, _report) = train(suite, train_cfg);
+    let (trained, _report) = train(suite, train_cfg.clone());
     let train_secs = t0.elapsed().as_secs_f64();
+
+    // The flat-formulation reference agent for hierarchical runs.
+    let flat_rl = (train_cfg.env == EnvKind::Hierarchical).then(|| {
+        let mut flat_cfg = train_cfg;
+        flat_cfg.env = EnvKind::Flat;
+        let (flat_trained, _) = train(suite, flat_cfg);
+        MigMpsRl::new(flat_trained)
+    });
 
     // Fit the fixed-layout baseline on the evaluation queues (the paper
     // picks the MIG partitioning maximising their average throughput).
@@ -141,13 +155,12 @@ pub fn run_full(suite: &Suite, train_cfg: TrainConfig) -> FullEvaluation {
     let online_decision_ms = t1.elapsed().as_secs_f64() * 1e3 / queues.len() as f64;
 
     let rl_policy = MigMpsRl::new(trained);
-    let policies: Vec<&(dyn Policy + Sync)> = vec![
-        &TimeSharing,
-        &MigOnly,
-        &MpsOnly,
-        &default_policy,
-        &rl_policy,
-    ];
+    let mut policies: Vec<&(dyn Policy + Sync)> =
+        vec![&TimeSharing, &MigOnly, &MpsOnly, &default_policy];
+    if let Some(flat) = &flat_rl {
+        policies.push(flat);
+    }
+    policies.push(&rl_policy);
     let runs: Vec<PolicyEval> = policies
         .iter()
         .map(|p| eval_policy(suite, &queues, cmax, *p, threads))
@@ -279,6 +292,23 @@ mod tests {
         }
         assert!(full.train_secs > 0.0);
         assert!(full.online_decision_ms >= 0.0);
+    }
+
+    #[test]
+    fn hierarchical_run_adds_flat_reference_row() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let mut cfg = quick_cfg();
+        cfg.episodes = 40;
+        cfg.env = EnvKind::Hierarchical;
+        let full = run_full(&suite, cfg);
+        assert_eq!(full.runs.len(), 6, "hier run reports both RL rows");
+        let names: Vec<&str> = full.runs.iter().map(|r| r.policy.as_str()).collect();
+        assert!(names.contains(&"MIG+MPS w/ RL"), "flat reference present");
+        assert_eq!(*names.last().unwrap(), "MIG+MPS w/ RL (hier)");
+        // Every row produced a metric per queue.
+        for run in &full.runs {
+            assert_eq!(run.metrics.len(), full.queues.len(), "{}", run.policy);
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::actions::ActionCatalog;
 use crate::predict::CoRunPredictor;
 use crate::problem::{evaluate_group, ScheduleDecision};
 use crate::reward::{final_reward, intermediate_reward, WindowStats};
+use crate::rl::{Env, EnvFactory};
 use hrp_gpusim::arch::GpuArch;
 use hrp_gpusim::engine::EngineConfig;
 use hrp_gpusim::CompiledPartition;
@@ -428,6 +429,14 @@ impl<'a> CoScheduleEnv<'a> {
         }
     }
 
+    /// Return to the initial state: every job pending again, the
+    /// accumulated decision discarded. The profiles, predictor, and
+    /// compiled partitions are episode-invariant and stay as built.
+    pub fn reset(&mut self) {
+        self.pending.iter_mut().for_each(|p| *p = true);
+        self.decision = ScheduleDecision::default();
+    }
+
     /// Consume the environment, returning the accumulated decision.
     #[must_use]
     pub fn into_decision(self) -> ScheduleDecision {
@@ -444,6 +453,103 @@ impl<'a> CoScheduleEnv<'a> {
     #[must_use]
     pub fn config(&self) -> &EnvConfig {
         &self.cfg
+    }
+}
+
+impl Env for CoScheduleEnv<'_> {
+    type Decision = ScheduleDecision;
+
+    fn state_dim(&self) -> usize {
+        CoScheduleEnv::state_dim(self)
+    }
+
+    fn n_actions(&self) -> usize {
+        self.catalog.len()
+    }
+
+    fn done(&self) -> bool {
+        CoScheduleEnv::done(self)
+    }
+
+    fn state_into(&self, out: &mut Vec<f32>) {
+        CoScheduleEnv::state_into(self, out);
+    }
+
+    fn valid_mask(&self) -> u64 {
+        CoScheduleEnv::valid_mask(self)
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        CoScheduleEnv::step(self, action)
+    }
+
+    fn reset(&mut self) {
+        CoScheduleEnv::reset(self);
+    }
+
+    fn into_decision(self) -> ScheduleDecision {
+        CoScheduleEnv::into_decision(self)
+    }
+}
+
+/// Stamps out [`CoScheduleEnv`] episodes: the episode-invariant pieces
+/// (suite, profiles, scaler, catalog, env config) bundled behind the
+/// [`EnvFactory`] interface the generic pipeline consumes.
+pub struct CoScheduleEnvFactory<'a> {
+    suite: &'a Suite,
+    repo: &'a ProfileRepository,
+    scaler: &'a FeatureScaler,
+    catalog: &'a ActionCatalog,
+    cfg: EnvConfig,
+}
+
+impl<'a> CoScheduleEnvFactory<'a> {
+    /// Bundle the episode-invariant state.
+    #[must_use]
+    pub fn new(
+        suite: &'a Suite,
+        repo: &'a ProfileRepository,
+        scaler: &'a FeatureScaler,
+        catalog: &'a ActionCatalog,
+        cfg: EnvConfig,
+    ) -> Self {
+        Self {
+            suite,
+            repo,
+            scaler,
+            catalog,
+            cfg,
+        }
+    }
+}
+
+impl EnvFactory for CoScheduleEnvFactory<'_> {
+    type Env<'e>
+        = CoScheduleEnv<'e>
+    where
+        Self: 'e;
+
+    fn make<'e>(&'e self, queue: &'e JobQueue) -> CoScheduleEnv<'e> {
+        CoScheduleEnv::new(
+            self.suite,
+            queue,
+            self.repo,
+            self.scaler,
+            self.catalog,
+            self.cfg.clone(),
+        )
+    }
+
+    fn state_dim(&self) -> usize {
+        self.cfg.w * JOB_FEATURES
+    }
+
+    fn n_actions(&self) -> usize {
+        self.catalog.len()
+    }
+
+    fn episode_steps_hint(&self) -> usize {
+        self.cfg.w
     }
 }
 

@@ -1,0 +1,526 @@
+//! The [`Experiment`] builder: one fluent, serialisable spec for a
+//! whole training run, with checkpoint save/load.
+//!
+//! [`TrainConfig`] is the exhaustive knob set; `Experiment` wraps it in
+//! a builder so a run reads as one expression —
+//!
+//! ```no_run
+//! use hrp_core::experiment::Experiment;
+//! use hrp_core::rl::EnvKind;
+//!
+//! let run = Experiment::paper()
+//!     .env(EnvKind::Hierarchical)
+//!     .overlap(true)
+//!     .shards(4)
+//!     .run();
+//! println!("late return: {:.3}", run.report.late_return);
+//! ```
+//!
+//! — and adds the **checkpoint** hand-off the paper's deployment story
+//! needs (train offline once, redeploy the frozen agent online):
+//! [`TrainedExperiment::save_bytes`] captures the spec *and* the
+//! trained weights in one blob, and [`Experiment::load_bytes`] rebuilds
+//! a [`TrainedAgent`] that makes **identical greedy decisions** —
+//! everything else the agent needs (profiles, scaler, catalog) is a
+//! deterministic function of the spec and the suite, so only spec +
+//! weights go to disk.
+//!
+//! # Checkpoint format
+//!
+//! A small container around the existing [`hrp_nn::serialize`] weight
+//! blob:
+//!
+//! ```text
+//! "HRPE" | version u32 LE | spec_len u32 LE | spec (UTF-8) | HRPQ weight blob
+//! ```
+//!
+//! The spec is `key=value` lines (one per [`TrainConfig`] field, floats
+//! printed shortest-round-trip, so decoding is exact). The config types
+//! also derive the `serde` marker traits, so the spec can move to a
+//! serde format wholesale once the workspace swaps the offline stand-in
+//! for the real crate.
+//!
+//! ## Save → load quickstart
+//!
+//! ```
+//! use hrp_core::experiment::Experiment;
+//! use hrp_gpusim::GpuArch;
+//! use hrp_workloads::Suite;
+//!
+//! let suite = Suite::paper_suite(&GpuArch::a100());
+//! // Tiny run for the doctest; use Experiment::paper() for real runs.
+//! let run = Experiment::quick().episodes(8).seed(7).run_on(&suite);
+//!
+//! // Persist spec + weights, redeploy elsewhere.
+//! let blob = run.trained.save_bytes();
+//! let reloaded = Experiment::load_bytes(blob, &suite).unwrap();
+//!
+//! // The reloaded agent is behaviourally identical.
+//! let queues = hrp_workloads::queue::table_v_queues(&suite);
+//! let queue = hrp_workloads::JobQueue {
+//!     label: "probe".into(),
+//!     jobs: queues[0].jobs[..6].to_vec(),
+//! };
+//! let engine = hrp_gpusim::EngineConfig::default();
+//! assert_eq!(
+//!     run.trained.greedy_decision(&suite, &queue, &engine),
+//!     reloaded.greedy_decision(&suite, &queue, &engine),
+//! );
+//! ```
+
+use crate::actions::ActionCatalog;
+use crate::rl::EnvKind;
+use crate::train::{dqn_config, env_geometry, train, TrainConfig, TrainReport, TrainedAgent};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hrp_gpusim::engine::EngineConfig;
+use hrp_nn::serialize::{decode_params, save_weights, SnapshotError};
+use hrp_nn::DqnAgent;
+use hrp_profile::{FeatureScaler, ProfileRepository, Profiler};
+use hrp_workloads::Suite;
+use std::path::Path;
+
+/// Magic prefix for experiment checkpoints.
+const MAGIC: &[u8; 4] = b"HRPE";
+/// Checkpoint format version.
+const VERSION: u32 = 1;
+
+/// A fluent, serialisable training spec (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    cfg: TrainConfig,
+}
+
+impl Experiment {
+    /// The paper's Table VI configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            cfg: TrainConfig::paper(),
+        }
+    }
+
+    /// The small test/smoke configuration.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            cfg: TrainConfig::quick(),
+        }
+    }
+
+    /// Wrap an explicit config.
+    #[must_use]
+    pub fn from_config(cfg: TrainConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Select the environment formulation (flat / hierarchical).
+    #[must_use]
+    pub fn env(mut self, kind: EnvKind) -> Self {
+        self.cfg.env = kind;
+        self
+    }
+
+    /// Double-buffered (overlapped) training rounds.
+    #[must_use]
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.cfg.overlap = on;
+        self
+    }
+
+    /// Replay shards (1 = classic single ring).
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n.max(1);
+        self
+    }
+
+    /// Rollout worker threads (execution detail; 0 = auto).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.n_workers = n;
+        self
+    }
+
+    /// Training episodes.
+    #[must_use]
+    pub fn episodes(mut self, n: usize) -> Self {
+        self.cfg.episodes = n;
+        self
+    }
+
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Window size `W`.
+    #[must_use]
+    pub fn window(mut self, w: usize) -> Self {
+        self.cfg.w = w;
+        self
+    }
+
+    /// Hidden-layer widths.
+    #[must_use]
+    pub fn hidden(mut self, widths: Vec<usize>) -> Self {
+        self.cfg.hidden = widths;
+        self
+    }
+
+    /// The underlying config.
+    #[must_use]
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Unwrap the config.
+    #[must_use]
+    pub fn into_config(self) -> TrainConfig {
+        self.cfg
+    }
+
+    /// Train on the paper's A100 suite.
+    #[must_use]
+    pub fn run(self) -> TrainedExperiment {
+        let suite = Suite::paper_suite(&hrp_gpusim::GpuArch::a100());
+        self.run_on(&suite)
+    }
+
+    /// Train on an explicit suite.
+    #[must_use]
+    pub fn run_on(self, suite: &Suite) -> TrainedExperiment {
+        let (trained, report) = train(suite, self.cfg);
+        TrainedExperiment { trained, report }
+    }
+
+    /// Rebuild a trained agent from a checkpoint blob: decode the spec,
+    /// regenerate the deterministic deployment state (profiles, scaler,
+    /// catalog), and load the weights.
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] when the blob is not a checkpoint,
+    /// has an unsupported version, a malformed spec, or weights whose
+    /// shape does not match the spec's network geometry.
+    pub fn load_bytes(mut blob: Bytes, suite: &Suite) -> Result<TrainedAgent, CheckpointError> {
+        if blob.len() < 12 || &blob[..4] != MAGIC {
+            return Err(CheckpointError::NotACheckpoint);
+        }
+        blob.advance(4);
+        let version = blob.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let spec_len = blob.get_u32_le() as usize;
+        if blob.len() < spec_len {
+            return Err(CheckpointError::NotACheckpoint);
+        }
+        let spec_bytes = blob.split_to(spec_len);
+        let spec = std::str::from_utf8(&spec_bytes)
+            .map_err(|_| CheckpointError::Spec("spec is not UTF-8".into()))?;
+        let cfg = decode_spec(spec)?;
+
+        let profiler = Profiler::new(suite.arch().clone(), cfg.profile_noise, cfg.seed);
+        let repo = ProfileRepository::for_suite(suite, &profiler);
+        let scaler = FeatureScaler::fit(&repo);
+        let catalog = ActionCatalog::paper_29();
+        let (state_dim, n_actions) = env_geometry(&cfg, &catalog);
+        let mut agent = DqnAgent::new(dqn_config(&cfg, state_dim, n_actions));
+        let params = decode_params(blob, agent.online_net().num_params())
+            .map_err(CheckpointError::Weights)?;
+        agent.load_weights(&params);
+        Ok(TrainedAgent::from_parts(agent, scaler, catalog, repo, cfg))
+    }
+
+    /// [`Experiment::load_bytes`] from a file.
+    ///
+    /// # Errors
+    /// I/O failures surface as [`CheckpointError::Io`]; decode failures
+    /// as in [`Experiment::load_bytes`].
+    pub fn load_file(path: &Path, suite: &Suite) -> Result<TrainedAgent, CheckpointError> {
+        let raw = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::load_bytes(Bytes::from(raw), suite)
+    }
+}
+
+/// A completed run: the deployable agent plus its learning statistics.
+pub struct TrainedExperiment {
+    /// The trained, deployable agent.
+    pub trained: TrainedAgent,
+    /// Learning statistics of the run.
+    pub report: TrainReport,
+}
+
+impl TrainedExperiment {
+    /// Checkpoint the run (delegates to [`TrainedAgent::save_bytes`]).
+    #[must_use]
+    pub fn save_bytes(&self) -> Bytes {
+        self.trained.save_bytes()
+    }
+
+    /// Checkpoint the run to a file.
+    ///
+    /// # Errors
+    /// Surfaces I/O failures.
+    pub fn save_file(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.trained.save_file(path)
+    }
+}
+
+impl TrainedAgent {
+    /// Serialise the full checkpoint: spec + online-network weights.
+    #[must_use]
+    pub fn save_bytes(&self) -> Bytes {
+        let spec = encode_spec(self.config());
+        let weights = save_weights(self.dqn().online_net());
+        let mut buf = BytesMut::with_capacity(12 + spec.len() + weights.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(spec.len() as u32);
+        buf.put_slice(spec.as_bytes());
+        buf.put_slice(&weights);
+        buf.freeze()
+    }
+
+    /// Write the checkpoint to a file.
+    ///
+    /// # Errors
+    /// Surfaces I/O failures.
+    pub fn save_file(&self, path: &Path) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.save_bytes()).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+}
+
+/// Checkpoint decode/IO errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Blob too short or missing the `HRPE` magic.
+    NotACheckpoint,
+    /// Unsupported checkpoint version.
+    BadVersion(u32),
+    /// Malformed spec section.
+    Spec(String),
+    /// Weight blob failed to decode.
+    Weights(SnapshotError),
+    /// Filesystem failure.
+    Io(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotACheckpoint => write!(f, "not an HRPE checkpoint"),
+            Self::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::Spec(e) => write!(f, "malformed spec: {e}"),
+            Self::Weights(e) => write!(f, "weight blob: {e}"),
+            Self::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Encode a config as `key=value` lines (floats shortest-round-trip).
+fn encode_spec(cfg: &TrainConfig) -> String {
+    let hidden: Vec<String> = cfg.hidden.iter().map(ToString::to_string).collect();
+    let mut s = String::new();
+    let mut kv = |k: &str, v: String| {
+        s.push_str(k);
+        s.push('=');
+        s.push_str(&v);
+        s.push('\n');
+    };
+    kv("w", cfg.w.to_string());
+    kv("cmax", cfg.cmax.to_string());
+    kv("episodes", cfg.episodes.to_string());
+    kv("n_queues", cfg.n_queues.to_string());
+    kv("seed", cfg.seed.to_string());
+    kv("hidden", hidden.join(","));
+    kv("gamma", format!("{:?}", cfg.gamma));
+    kv("lr", format!("{:?}", cfg.lr));
+    kv("batch_size", cfg.batch_size.to_string());
+    kv("target_sync_every", cfg.target_sync_every.to_string());
+    kv("buffer_capacity", cfg.buffer_capacity.to_string());
+    kv("double", cfg.double.to_string());
+    kv("dueling", cfg.dueling.to_string());
+    kv("profile_noise", format!("{:?}", cfg.profile_noise));
+    kv("ri_weight", format!("{:?}", cfg.ri_weight));
+    kv("rf_weight", format!("{:?}", cfg.rf_weight));
+    kv(
+        "engine.mig_reconfig_overhead",
+        format!("{:?}", cfg.engine.mig_reconfig_overhead),
+    );
+    kv(
+        "engine.mps_setup_overhead",
+        format!("{:?}", cfg.engine.mps_setup_overhead),
+    );
+    kv(
+        "engine.max_sim_time",
+        format!("{:?}", cfg.engine.max_sim_time),
+    );
+    kv("eps_end", format!("{:?}", cfg.eps_end));
+    kv("n_workers", cfg.n_workers.to_string());
+    kv("rollout_round", cfg.rollout_round.to_string());
+    kv("overlap", cfg.overlap.to_string());
+    kv("shards", cfg.shards.to_string());
+    kv("env", cfg.env.name().to_string());
+    s
+}
+
+/// Decode a `key=value` spec, requiring every field exactly once.
+fn decode_spec(spec: &str) -> Result<TrainConfig, CheckpointError> {
+    fn get<'a>(
+        map: &std::collections::BTreeMap<&'a str, &'a str>,
+        key: &str,
+    ) -> Result<&'a str, CheckpointError> {
+        map.get(key)
+            .copied()
+            .ok_or_else(|| CheckpointError::Spec(format!("missing key '{key}'")))
+    }
+    fn parse<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, CheckpointError> {
+        raw.parse()
+            .map_err(|_| CheckpointError::Spec(format!("bad value for '{key}': '{raw}'")))
+    }
+
+    let mut map = std::collections::BTreeMap::new();
+    for line in spec.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| CheckpointError::Spec(format!("not a key=value line: '{line}'")))?;
+        if map.insert(k, v).is_some() {
+            return Err(CheckpointError::Spec(format!("duplicate key '{k}'")));
+        }
+    }
+
+    let hidden_raw = get(&map, "hidden")?;
+    let hidden = if hidden_raw.is_empty() {
+        Vec::new()
+    } else {
+        hidden_raw
+            .split(',')
+            .map(|p| parse::<usize>("hidden", p))
+            .collect::<Result<Vec<usize>, _>>()?
+    };
+    let env = EnvKind::parse(get(&map, "env")?)
+        .map_err(|bad| CheckpointError::Spec(format!("unknown env kind '{bad}'")))?;
+
+    Ok(TrainConfig {
+        w: parse("w", get(&map, "w")?)?,
+        cmax: parse("cmax", get(&map, "cmax")?)?,
+        episodes: parse("episodes", get(&map, "episodes")?)?,
+        n_queues: parse("n_queues", get(&map, "n_queues")?)?,
+        seed: parse("seed", get(&map, "seed")?)?,
+        hidden,
+        gamma: parse("gamma", get(&map, "gamma")?)?,
+        lr: parse("lr", get(&map, "lr")?)?,
+        batch_size: parse("batch_size", get(&map, "batch_size")?)?,
+        target_sync_every: parse("target_sync_every", get(&map, "target_sync_every")?)?,
+        buffer_capacity: parse("buffer_capacity", get(&map, "buffer_capacity")?)?,
+        double: parse("double", get(&map, "double")?)?,
+        dueling: parse("dueling", get(&map, "dueling")?)?,
+        profile_noise: parse("profile_noise", get(&map, "profile_noise")?)?,
+        ri_weight: parse("ri_weight", get(&map, "ri_weight")?)?,
+        rf_weight: parse("rf_weight", get(&map, "rf_weight")?)?,
+        engine: EngineConfig {
+            mig_reconfig_overhead: parse(
+                "engine.mig_reconfig_overhead",
+                get(&map, "engine.mig_reconfig_overhead")?,
+            )?,
+            mps_setup_overhead: parse(
+                "engine.mps_setup_overhead",
+                get(&map, "engine.mps_setup_overhead")?,
+            )?,
+            max_sim_time: parse("engine.max_sim_time", get(&map, "engine.max_sim_time")?)?,
+        },
+        eps_end: parse("eps_end", get(&map, "eps_end")?)?,
+        n_workers: parse("n_workers", get(&map, "n_workers")?)?,
+        rollout_round: parse("rollout_round", get(&map, "rollout_round")?)?,
+        overlap: parse("overlap", get(&map, "overlap")?)?,
+        shards: parse("shards", get(&map, "shards")?)?,
+        env,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrp_gpusim::GpuArch;
+
+    #[test]
+    fn spec_round_trips_every_field() {
+        let mut cfg = TrainConfig::paper();
+        cfg.env = EnvKind::Hierarchical;
+        cfg.overlap = true;
+        cfg.shards = 4;
+        cfg.lr = 3.3e-4;
+        cfg.profile_noise = 0.123_456_789;
+        cfg.engine.mig_reconfig_overhead = 2.5;
+        cfg.hidden = vec![96, 48, 24];
+        let decoded = decode_spec(&encode_spec(&cfg)).unwrap();
+        assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn spec_rejects_missing_and_malformed_keys() {
+        let good = encode_spec(&TrainConfig::quick());
+        let missing = good.replace("gamma=", "gama=");
+        assert!(matches!(
+            decode_spec(&missing),
+            Err(CheckpointError::Spec(_))
+        ));
+        let malformed = good.replace("episodes=250", "episodes=lots");
+        assert!(matches!(
+            decode_spec(&malformed),
+            Err(CheckpointError::Spec(_))
+        ));
+        let typo_env = good.replace("env=flat", "env=flatt");
+        assert!(matches!(
+            decode_spec(&typo_env),
+            Err(CheckpointError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn builder_composes_fluently() {
+        let exp = Experiment::paper()
+            .env(EnvKind::Hierarchical)
+            .overlap(true)
+            .shards(4)
+            .workers(2)
+            .episodes(42)
+            .seed(9)
+            .window(8)
+            .hidden(vec![32, 16]);
+        let cfg = exp.config();
+        assert_eq!(cfg.env, EnvKind::Hierarchical);
+        assert!(cfg.overlap);
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.n_workers, 2);
+        assert_eq!(cfg.episodes, 42);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.w, 8);
+        assert_eq!(cfg.hidden, vec![32, 16]);
+        // shards(0) clamps rather than producing a broken pipeline.
+        assert_eq!(Experiment::paper().shards(0).config().shards, 1);
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_versions() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        assert!(matches!(
+            Experiment::load_bytes(Bytes::from_static(b"nope"), &suite),
+            Err(CheckpointError::NotACheckpoint)
+        ));
+        let run = Experiment::quick().episodes(4).run_on(&suite);
+        let mut raw = BytesMut::from(&run.save_bytes()[..]);
+        raw[4] = 99;
+        assert!(matches!(
+            Experiment::load_bytes(raw.freeze(), &suite),
+            Err(CheckpointError::BadVersion(_))
+        ));
+    }
+}

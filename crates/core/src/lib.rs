@@ -14,14 +14,24 @@
 //!
 //! The solution mirrors the paper's architecture (Fig. 7):
 //!
-//! * [`mod@env`] — the RL environment: window state encoding `W × (f + 5)`,
-//!   a 29-entry action catalog ([`actions`]), and the two-part reward of
-//!   Table VI ([`reward`]);
+//! * [`mod@rl`] — the generic interface the training pipeline is
+//!   written against: the [`rl::Env`] × [`rl::Learner`] traits, policy
+//!   snapshots, and greedy rollout;
+//! * [`mod@env`] — the flat RL environment: window state encoding
+//!   `W × (f + 5)`, a 29-entry action catalog ([`actions`]), and the
+//!   two-part reward of Table VI ([`reward`]);
+//! * [`mod@hierarchy`] — the paper's two-level formulation: a MIG-level
+//!   (physical) action followed by an MPS-level (logical) action, same
+//!   reachable decisions as the flat catalog;
 //! * [`mod@train`] — offline training of a dueling double DQN over randomly
 //!   generated job queues, run as a parallel rollout/learner pipeline
-//!   with optional double-buffered (overlapped) rounds and sharded
+//!   ([`train::train_env`], generic over the env/learner pair) with
+//!   optional double-buffered (overlapped) rounds and sharded
 //!   replay — bit-identical for any worker count (see
 //!   `ARCHITECTURE.md`, "Determinism contract");
+//! * [`mod@experiment`] — the fluent [`experiment::Experiment`] spec
+//!   unifying the config surface, with spec+weights checkpoints that
+//!   reload to identical greedy decisions;
 //! * [`par`] — the bounded scoped-parallelism primitive
 //!   ([`par::parallel_map`]) the rollout, evaluation, and cluster
 //!   window-drain fan-outs share;
@@ -41,6 +51,8 @@
 pub mod actions;
 pub mod env;
 pub mod exhaustive;
+pub mod experiment;
+pub mod hierarchy;
 pub mod metrics;
 pub mod online;
 pub mod par;
@@ -48,13 +60,17 @@ pub mod policies;
 pub mod predict;
 pub mod problem;
 pub mod reward;
+pub mod rl;
 pub mod train;
 
 pub use actions::ActionCatalog;
-pub use env::{CoScheduleEnv, EnvConfig};
+pub use env::{CoScheduleEnv, CoScheduleEnvFactory, EnvConfig};
+pub use experiment::{CheckpointError, Experiment, TrainedExperiment};
+pub use hierarchy::{HierarchicalCatalog, HierarchicalEnv, HierarchicalEnvFactory};
 pub use metrics::QueueMetrics;
 pub use policies::{
     MigMpsDefault, MigMpsRl, MigOnly, MpsOnly, Policy, ScheduleContext, TimeSharing,
 };
 pub use problem::{ScheduleDecision, ScheduledGroup};
-pub use train::{train, TrainConfig, TrainedAgent};
+pub use rl::{Env, EnvFactory, EnvKind, Learner, SnapshotPolicy};
+pub use train::{train, train_env, PipelineConfig, TrainConfig, TrainedAgent};

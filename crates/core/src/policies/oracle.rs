@@ -12,6 +12,7 @@ use super::{Policy, ScheduleContext};
 use crate::actions::ActionCatalog;
 use crate::env::{CoScheduleEnv, EnvConfig};
 use crate::problem::ScheduleDecision;
+use hrp_nn::masked_argmax;
 use hrp_profile::{FeatureScaler, ProfileRepository, Profiler};
 
 /// The oracle-greedy policy (upper reference for `MigMpsRl`).
@@ -62,19 +63,20 @@ impl Policy for OracleGreedy {
         while !env.done() {
             let mask = env.valid_mask();
             // Choose the action saving the most time over solo execution
-            // of the same bound jobs.
-            let mut best = (0usize, f64::NEG_INFINITY);
-            for a in 0..self.catalog.len() {
-                if mask & (1 << a) == 0 {
-                    continue;
-                }
-                let (_, corun, solo) = env.peek_action(a);
-                let saved = solo - corun;
-                if saved > best.1 {
-                    best = (a, saved);
-                }
-            }
-            env.step(best.0);
+            // of the same bound jobs — the same masked-argmax helper the
+            // DQN uses for Q-values, applied to measured savings.
+            let saved: Vec<f64> = (0..self.catalog.len())
+                .map(|a| {
+                    if mask & (1 << a) == 0 {
+                        return f64::NEG_INFINITY;
+                    }
+                    let (_, corun, solo) = env.peek_action(a);
+                    solo - corun
+                })
+                .collect();
+            let best = masked_argmax(&saved, |a| mask & (1 << a) != 0)
+                .expect("a live window always has a valid action");
+            env.step(best);
         }
         env.into_decision()
     }

@@ -4,6 +4,7 @@
 
 use super::{Policy, ScheduleContext};
 use crate::problem::ScheduleDecision;
+use crate::rl::EnvKind;
 use crate::train::TrainedAgent;
 
 /// The proposed reinforcement-learning policy.
@@ -33,7 +34,12 @@ impl MigMpsRl {
 
 impl Policy for MigMpsRl {
     fn name(&self) -> &'static str {
-        "MIG+MPS w/ RL"
+        // The display name tracks the formulation the agent was trained
+        // on, so evaluation tables can show both side by side.
+        match self.trained.config().env {
+            EnvKind::Flat => "MIG+MPS w/ RL",
+            EnvKind::Hierarchical => "MIG+MPS w/ RL (hier)",
+        }
     }
 
     fn schedule(&self, ctx: &ScheduleContext<'_>) -> ScheduleDecision {

@@ -15,7 +15,7 @@ use crate::net::{Head, QNet};
 use crate::opt::Adam;
 use crate::replay::{MiniBatch, Transition};
 use crate::sharded::ShardedReplay;
-use crate::tensor::{masked_argmax, masked_argmax_batch, masked_argmax_tiebreak};
+use crate::tensor::{masked_argmax, masked_argmax_batch, masked_argmax_tiebreak, masked_uniform};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -106,8 +106,7 @@ pub fn epsilon_greedy_action(
 ) -> usize {
     assert!(mask != 0, "no valid action");
     if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
-        let valid: Vec<usize> = (0..n_actions).filter(|&a| mask & (1 << a) != 0).collect();
-        valid[rng.gen_range(0..valid.len())]
+        masked_uniform(mask, n_actions, rng).expect("mask checked non-empty")
     } else {
         let q = net.predict(state);
         masked_argmax_tiebreak(&q, |a| mask & (1 << a) != 0, rng).expect("mask checked non-empty")

@@ -53,3 +53,4 @@ pub use opt::Adam;
 pub use replay::{MiniBatch, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;
 pub use sharded::ShardedReplay;
+pub use tensor::{masked_argmax, masked_argmax_tiebreak, masked_uniform};

@@ -56,8 +56,14 @@ pub fn save_weights(net: &QNet) -> Bytes {
     buf.freeze()
 }
 
-/// Load weights into an identically-shaped network.
-pub fn load_weights(net: &mut QNet, mut blob: Bytes) -> Result<(), SnapshotError> {
+/// Decode a snapshot blob into its flat parameter vector, validating
+/// the header and that the blob holds exactly `expected` parameters.
+///
+/// The building block behind [`load_weights`]; callers that feed
+/// parameters to something other than a bare [`QNet`] (e.g. an agent
+/// that mirrors them into online and target networks) can decode once
+/// and apply directly, without a scratch network.
+pub fn decode_params(mut blob: Bytes, expected: usize) -> Result<Vec<f32>, SnapshotError> {
     if blob.len() < 12 || &blob[..4] != MAGIC {
         return Err(SnapshotError::NotASnapshot);
     }
@@ -67,16 +73,19 @@ pub fn load_weights(net: &mut QNet, mut blob: Bytes) -> Result<(), SnapshotError
         return Err(SnapshotError::BadVersion(version));
     }
     let n = blob.get_u32_le() as usize;
-    if n != net.num_params() || blob.len() < 4 * n {
-        return Err(SnapshotError::WrongShape {
-            found: n,
-            expected: net.num_params(),
-        });
+    if n != expected || blob.len() < 4 * n {
+        return Err(SnapshotError::WrongShape { found: n, expected });
     }
     let mut params = Vec::with_capacity(n);
     for _ in 0..n {
         params.push(blob.get_f32_le());
     }
+    Ok(params)
+}
+
+/// Load weights into an identically-shaped network.
+pub fn load_weights(net: &mut QNet, blob: Bytes) -> Result<(), SnapshotError> {
+    let params = decode_params(blob, net.num_params())?;
     net.read_params(&params);
     Ok(())
 }

@@ -290,9 +290,17 @@ pub fn relu_backward(dy: &mut [f32], mask: &[bool]) {
 
 /// Index of the maximum value among `allowed` entries (ties → lowest
 /// index). Returns `None` when no entry is allowed.
+///
+/// Generic over the value type so that every masked "pick the best
+/// action" loop in the workspace — `f32` Q-values here, `f64` predicted
+/// time savings in the scheduling policies — goes through this one
+/// implementation instead of hand-rolling the scan.
 #[must_use]
-pub fn masked_argmax(values: &[f32], allowed: impl Fn(usize) -> bool) -> Option<usize> {
-    let mut best: Option<(usize, f32)> = None;
+pub fn masked_argmax<T: PartialOrd + Copy>(
+    values: &[T],
+    allowed: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let mut best: Option<(usize, T)> = None;
     for (i, &v) in values.iter().enumerate() {
         if !allowed(i) {
             continue;
@@ -303,6 +311,23 @@ pub fn masked_argmax(values: &[f32], allowed: impl Fn(usize) -> bool) -> Option<
         }
     }
     best.map(|(i, _)| i)
+}
+
+/// Uniform draw over the set bits of `mask` below `n`, consuming exactly
+/// one `gen_range` from `rng`. Returns `None` for an empty mask.
+///
+/// This is the exploration half of the ε-greedy behaviour policy,
+/// factored out so every masked uniform draw shares one implementation
+/// (and therefore one RNG-consumption pattern — callers stay bit-for-bit
+/// reproducible when they swap hand-rolled loops for this helper).
+#[must_use]
+pub fn masked_uniform<R: rand::Rng>(mask: u64, n: usize, rng: &mut R) -> Option<usize> {
+    let count = (0..n).filter(|&a| mask & (1 << a) != 0).count();
+    if count == 0 {
+        return None;
+    }
+    let pick = rng.gen_range(0..count);
+    (0..n).filter(|&a| mask & (1 << a) != 0).nth(pick)
 }
 
 /// Like [`masked_argmax`], but exact-value ties are broken uniformly at
@@ -316,12 +341,12 @@ pub fn masked_argmax(values: &[f32], allowed: impl Fn(usize) -> bool) -> Option<
 /// per-episode RNG stream; deployment-time greedy rollouts keep the
 /// deterministic [`masked_argmax`].
 #[must_use]
-pub fn masked_argmax_tiebreak<R: rand::Rng>(
-    values: &[f32],
+pub fn masked_argmax_tiebreak<T: PartialOrd + Copy, R: rand::Rng>(
+    values: &[T],
     allowed: impl Fn(usize) -> bool,
     rng: &mut R,
 ) -> Option<usize> {
-    let mut best: Option<(usize, f32)> = None;
+    let mut best: Option<(usize, T)> = None;
     let mut ties = 0u32;
     for (i, &v) in values.iter().enumerate() {
         if !allowed(i) {
@@ -559,5 +584,63 @@ mod tests {
         let picked = masked_argmax_tiebreak(&v, |i| i < 2, &mut rng);
         assert!(picked == Some(0) || picked == Some(1), "picked {picked:?}");
         assert_eq!(masked_argmax_tiebreak(&v, |_| false, &mut rng), None);
+    }
+
+    #[test]
+    fn masked_argmax_works_on_f64_scores() {
+        // The policies score actions in f64 (predicted seconds saved);
+        // the generic argmax must behave identically there.
+        let v = [1.25f64, f64::NEG_INFINITY, 7.5, 7.5];
+        assert_eq!(masked_argmax(&v, |_| true), Some(2));
+        assert_eq!(masked_argmax(&v, |i| i != 2), Some(3));
+        assert_eq!(masked_argmax(&v, |i| i == 1), Some(1));
+    }
+
+    #[test]
+    fn masked_uniform_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        // All-invalid mask: no draw possible.
+        assert_eq!(masked_uniform(0, 8, &mut rng), None);
+        // Bits at or above `n` do not count as valid.
+        assert_eq!(masked_uniform(0b1_0000, 4, &mut rng), None);
+        // Single-valid mask: always that action, for any RNG state.
+        for _ in 0..20 {
+            assert_eq!(masked_uniform(0b100, 8, &mut rng), Some(2));
+        }
+    }
+
+    #[test]
+    fn masked_uniform_covers_all_valid_bits_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mask = 0b1011u64; // actions 0, 1, 3
+        let mut counts = [0usize; 4];
+        for _ in 0..6000 {
+            counts[masked_uniform(mask, 4, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[2], 0, "invalid action must never be drawn");
+        for &i in &[0usize, 1, 3] {
+            assert!(
+                (1700..2300).contains(&counts[i]),
+                "action {i} drawn {} of 6000",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn masked_uniform_matches_the_legacy_index_list_draw() {
+        // The pre-refactor exploration branch collected the valid
+        // indices into a Vec and indexed it with one `gen_range`; the
+        // helper must consume the RNG stream identically so ε-greedy
+        // rollouts stay bit-for-bit reproducible across the refactor.
+        for seed in 0..20u64 {
+            let mask = 0b1_1010_0110u64;
+            let n = 9;
+            let mut legacy_rng = SmallRng::seed_from_u64(seed);
+            let valid: Vec<usize> = (0..n).filter(|&a| mask & (1 << a) != 0).collect();
+            let legacy = valid[legacy_rng.gen_range(0..valid.len())];
+            let mut rng = SmallRng::seed_from_u64(seed);
+            assert_eq!(masked_uniform(mask, n, &mut rng), Some(legacy));
+        }
     }
 }

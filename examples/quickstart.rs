@@ -5,8 +5,10 @@
 //! ```
 //!
 //! Walks through the paper's whole pipeline on a reduced scale:
-//! profiling → offline RL training → online scheduling → metrics.
+//! profiling → offline RL training (via the `Experiment` builder) →
+//! checkpoint save/load → online scheduling → metrics.
 
+use hrp::core::experiment::Experiment;
 use hrp::prelude::*;
 
 fn main() {
@@ -23,23 +25,31 @@ fn main() {
 
     // 2. Offline phase: profile everything, train the dueling double DQN
     //    on random queues of the 18 seen programs. This mid-size setup
-    //    trains in under a minute; `TrainConfig::paper()` is the full
-    //    Table VI configuration.
-    let cfg = TrainConfig {
+    //    trains in under a minute; `Experiment::paper()` is the full
+    //    Table VI configuration, and `.env(EnvKind::Hierarchical)`
+    //    would select the two-level MIG → MPS formulation.
+    let run = Experiment::from_config(TrainConfig {
         w: 6,
         episodes: 600,
         n_queues: 12,
         hidden: vec![128, 64],
         lr: 1e-3,
         ..TrainConfig::paper()
-    };
-    let (trained, report) = train(&suite, cfg);
+    })
+    .run_on(&suite);
+    let report = &run.report;
     println!(
         "trained: {} episodes, {} env steps, return {:.2} -> {:.2}",
         report.episodes, report.total_steps, report.early_return, report.late_return
     );
 
-    // 3. Online phase: schedule a window the agent has never seen —
+    // 3. Checkpoint hand-off: spec + weights round-trip through one
+    //    blob, and the reloaded agent is behaviourally identical.
+    let blob = run.save_bytes();
+    println!("checkpoint: {} bytes (spec + weights)", blob.len());
+    let trained = Experiment::load_bytes(blob, &suite).expect("checkpoint reloads");
+
+    // 4. Online phase: schedule a window the agent has never seen —
     //    including starred (unseen) programs.
     let queue = JobQueue::from_names(
         "demo",
@@ -74,7 +84,7 @@ fn main() {
         );
     }
 
-    // 4. Metrics, exactly as the paper reports them.
+    // 5. Metrics, exactly as the paper reports them.
     let m = evaluate_decision(&queue.label, &suite, &queue, &decision);
     println!(
         "\nthroughput vs time sharing: {:.3}   avg slowdown: {:.3}   fairness: {:.3}",

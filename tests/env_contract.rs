@@ -1,0 +1,238 @@
+//! Property tests (proptest) for the `Env` trait contract, on both
+//! implementations:
+//!
+//! * while `!done()`, `valid_mask()` always has a set bit, and only
+//!   bits below `n_actions()`;
+//! * `state_into` always encodes exactly `state_dim()` floats, at
+//!   every point of the episode and after every valid action;
+//! * the hierarchical env's two-level action space composes to exactly
+//!   the flat env's reachable decisions, and stepping the two in
+//!   lockstep yields identical rewards and final schedules.
+
+use hrp::core::env::{CoScheduleEnvFactory, EnvConfig, JOB_FEATURES};
+use hrp::core::hierarchy::{HierarchicalCatalog, HierarchicalEnvFactory};
+use hrp::core::rl::{Env, EnvFactory};
+use hrp::core::ActionCatalog;
+use hrp::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Episode-invariant state shared by every env the tests build.
+struct Fixture {
+    suite: Suite,
+    repo: ProfileRepository,
+    scaler: FeatureScaler,
+    catalog: ActionCatalog,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let arch = GpuArch::a100();
+        let suite = Suite::paper_suite(&arch);
+        let profiler = Profiler::new(arch, 0.02, 11);
+        let repo = ProfileRepository::for_suite(&suite, &profiler);
+        let scaler = FeatureScaler::fit(&repo);
+        Self {
+            suite,
+            repo,
+            scaler,
+            catalog: ActionCatalog::paper_29(),
+        }
+    }
+
+    fn queue(&self, picks: &[usize]) -> JobQueue {
+        let names: Vec<&str> = picks
+            .iter()
+            .map(|&i| self.suite.by_index(i % self.suite.len()).app.name.as_str())
+            .collect();
+        JobQueue::from_names("prop", &names, &self.suite)
+    }
+
+    fn cfg(&self, w: usize) -> EnvConfig {
+        EnvConfig {
+            w,
+            cmax: 4,
+            ..EnvConfig::paper()
+        }
+    }
+}
+
+/// Random valid action from the mask — the shared exploration draw.
+fn random_valid(mask: u64, n: usize, rng: &mut SmallRng) -> usize {
+    hrp::nn::masked_uniform(mask, n, rng).expect("mask checked non-empty")
+}
+
+/// Walk one episode asserting the `Env` contract at every state.
+fn assert_contract<E: Env>(mut env: E, max_steps: usize, seed: u64) -> Result<(), TestCaseError> {
+    let dim = env.state_dim();
+    let n = env.n_actions();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state = Vec::new();
+    let mut steps = 0usize;
+    while !env.done() {
+        let mask = env.valid_mask();
+        prop_assert!(mask != 0, "live env with empty mask after {steps} steps");
+        prop_assert!(
+            n >= 64 || mask >> n == 0,
+            "mask has bits at or above n_actions = {n}: {mask:#b}"
+        );
+        env.state_into(&mut state);
+        prop_assert_eq!(state.len(), dim, "state_dim drifted mid-episode");
+        env.step(random_valid(mask, n, &mut rng));
+        steps += 1;
+        prop_assert!(steps <= max_steps, "episode exceeded {max_steps} steps");
+    }
+    env.state_into(&mut state);
+    prop_assert_eq!(state.len(), dim, "state_dim drifted at terminal state");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn flat_env_honours_the_contract(
+        picks in proptest::collection::vec(0usize..1000, 3..=6),
+        seed in 0u64..1_000_000,
+    ) {
+        let fx = Fixture::new();
+        let queue = fx.queue(&picks);
+        let factory = CoScheduleEnvFactory::new(
+            &fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(queue.len()),
+        );
+        prop_assert_eq!(factory.state_dim(), queue.len() * JOB_FEATURES);
+        let env = factory.make(&queue);
+        prop_assert_eq!(Env::state_dim(&env), factory.state_dim());
+        assert_contract(env, queue.len(), seed)?;
+    }
+
+    #[test]
+    fn hierarchical_env_honours_the_contract(
+        picks in proptest::collection::vec(0usize..1000, 3..=6),
+        seed in 0u64..1_000_000,
+    ) {
+        let fx = Fixture::new();
+        let queue = fx.queue(&picks);
+        let factory = HierarchicalEnvFactory::new(
+            &fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(queue.len()),
+        );
+        let env = factory.make(&queue);
+        prop_assert_eq!(Env::state_dim(&env), factory.state_dim());
+        // Every scheduling decision costs two steps.
+        assert_contract(env, 2 * queue.len(), seed)?;
+    }
+
+    #[test]
+    fn two_level_space_composes_to_exactly_the_flat_reachable_set(
+        picks in proptest::collection::vec(0usize..1000, 3..=6),
+        seed in 0u64..1_000_000,
+    ) {
+        // Walk the *flat* env randomly; at every decision point, the
+        // union of (MIG-level, MPS-level) paths must reach exactly the
+        // flat env's valid actions — no hierarchical path may invent a
+        // decision and none may be lost.
+        let fx = Fixture::new();
+        let queue = fx.queue(&picks);
+        let hcat = HierarchicalCatalog::from_catalog(&fx.catalog);
+        let factory = CoScheduleEnvFactory::new(
+            &fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(queue.len()),
+        );
+        let mut env = factory.make(&queue);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0ffee);
+        while !Env::done(&env) {
+            let flat_mask = Env::valid_mask(&env);
+            let l1 = hcat.level1_mask(flat_mask);
+            let mut reachable = 0u64;
+            for g in 0..hcat.n_groups() {
+                if l1 & (1 << g) == 0 {
+                    // An unavailable group must hide all its variants.
+                    prop_assert_eq!(hcat.level2_mask(g, flat_mask), 0);
+                    continue;
+                }
+                let l2 = hcat.level2_mask(g, flat_mask);
+                prop_assert!(l2 != 0, "available group {g} offers no variant");
+                for k in 0..hcat.groups()[g].members.len() {
+                    if l2 & (1 << (hcat.n_groups() + k)) != 0 {
+                        reachable |= 1 << hcat.flat_action(g, k);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                reachable, flat_mask,
+                "hierarchical composition reaches {:#b}, flat offers {:#b}",
+                reachable, flat_mask
+            );
+            let a = random_valid(flat_mask, fx.catalog.len(), &mut rng);
+            Env::step(&mut env, a);
+        }
+    }
+
+    #[test]
+    fn lockstep_hierarchical_and_flat_episodes_agree(
+        picks in proptest::collection::vec(0usize..1000, 3..=6),
+        seed in 0u64..1_000_000,
+    ) {
+        // Driving the hierarchical env along the two-level path of each
+        // flat action must produce the same rewards and final schedule.
+        let fx = Fixture::new();
+        let queue = fx.queue(&picks);
+        let flat_factory = CoScheduleEnvFactory::new(
+            &fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(queue.len()),
+        );
+        let hier_factory = HierarchicalEnvFactory::new(
+            &fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(queue.len()),
+        );
+        let mut flat = flat_factory.make(&queue);
+        let mut hier = hier_factory.make(&queue);
+        let hcat = hier_factory.catalog();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
+        while !Env::done(&flat) {
+            prop_assert!(!Env::done(&hier), "hier finished early");
+            let a = random_valid(Env::valid_mask(&flat), fx.catalog.len(), &mut rng);
+            let (g, k) = hcat.path_of_flat(a);
+            let mig = Env::step(&mut hier, g);
+            prop_assert_eq!(mig.reward, 0.0);
+            prop_assert!(!mig.done);
+            let mps = Env::step(&mut hier, hcat.n_groups() + k);
+            let flat_out = Env::step(&mut flat, a);
+            prop_assert_eq!(mps, flat_out);
+        }
+        prop_assert!(Env::done(&hier));
+        prop_assert_eq!(Env::into_decision(hier), Env::into_decision(flat));
+    }
+}
+
+#[test]
+fn every_valid_initial_action_keeps_state_dim_stable() {
+    // The per-action half of the contract, exhaustively at the initial
+    // state: stepping *each* valid action (fresh env per action, both
+    // formulations) leaves the encoded state at state_dim.
+    let fx = Fixture::new();
+    let queue = fx.queue(&[0, 5, 10, 15, 20, 25]);
+    let flat_factory =
+        CoScheduleEnvFactory::new(&fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(6));
+    let mut state = Vec::new();
+    let probe_mask = Env::valid_mask(&flat_factory.make(&queue));
+    for a in (0..fx.catalog.len()).filter(|&a| probe_mask & (1 << a) != 0) {
+        let mut env = flat_factory.make(&queue);
+        let dim = Env::state_dim(&env);
+        Env::step(&mut env, a);
+        Env::state_into(&env, &mut state);
+        assert_eq!(state.len(), dim, "flat action {a}");
+    }
+    let hier_factory =
+        HierarchicalEnvFactory::new(&fx.suite, &fx.repo, &fx.scaler, &fx.catalog, fx.cfg(6));
+    let hcat = hier_factory.catalog();
+    let l1 = Env::valid_mask(&hier_factory.make(&queue));
+    for g in (0..hcat.n_groups()).filter(|&g| l1 & (1 << g) != 0) {
+        let mut env = hier_factory.make(&queue);
+        let dim = Env::state_dim(&env);
+        Env::step(&mut env, g);
+        Env::state_into(&env, &mut state);
+        assert_eq!(state.len(), dim, "hier group {g}");
+        let l2 = Env::valid_mask(&env);
+        let k = (0..64).find(|&b| l2 & (1 << b) != 0).unwrap();
+        Env::step(&mut env, k);
+        Env::state_into(&env, &mut state);
+        assert_eq!(state.len(), dim, "hier variant {k} of group {g}");
+    }
+}

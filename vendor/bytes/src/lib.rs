@@ -75,6 +75,31 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Split off and return the first `at` remaining bytes; `self`
+    /// keeps the rest (mirrors `bytes::Bytes::split_to`).
+    ///
+    /// # Panics
+    /// Panics if `at` exceeds the remaining length.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to past end");
+        let head = self.data[self.pos..self.pos + at].to_vec();
+        self.pos += at;
+        Bytes { data: head, pos: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
 }
 
 impl Deref for Bytes {

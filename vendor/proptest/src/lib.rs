@@ -256,7 +256,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Assert equality inside a property.
+/// Assert equality inside a property (optionally with a formatted
+/// message, mirroring the real crate's API).
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {
@@ -266,6 +267,20 @@ macro_rules! prop_assert_eq {
                     return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                         "assertion failed: `{:?}` != `{:?}`",
                         l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{:?}` != `{:?}`: {}",
+                        l,
+                        r,
+                        format!($($fmt)+)
                     )));
                 }
             }
