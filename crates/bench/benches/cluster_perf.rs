@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the multi-node cluster simulator: the
+//! per-epoch node fan-out vs the serial path, and the single-node
+//! event loop underneath both.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hrp_bench::cluster::node_dispatcher;
+use hrp_cluster::multinode::{staggered_trace, MultiNodeSim};
+use hrp_cluster::sim::ClusterSim;
+use hrp_cluster::SelectorKind;
+use hrp_gpusim::GpuArch;
+use hrp_workloads::Suite;
+
+const JOBS: usize = 48;
+
+fn bench_single_node_loop(c: &mut Criterion) {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    let jobs = staggered_trace(&suite, JOBS);
+    c.bench_function("cluster_single_node_drain48", |b| {
+        b.iter(|| {
+            let mut d = node_dispatcher();
+            black_box(ClusterSim::new(2).run(&suite, black_box(jobs.clone()), &mut d))
+        })
+    });
+}
+
+fn bench_multinode(c: &mut Criterion) {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    let jobs = staggered_trace(&suite, JOBS);
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("cluster_4nodes_threads{threads}_drain48"), |b| {
+            b.iter(|| {
+                let mut sel = SelectorKind::LeastLoaded.build();
+                let sim = MultiNodeSim::new(4, 2).with_threads(threads);
+                black_box(sim.run(&suite, black_box(jobs.clone()), sel.as_mut(), |_| {
+                    node_dispatcher()
+                }))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_single_node_loop, bench_multinode);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N]
-//!       [--env flat|hierarchical] [--out DIR] <command>
+//!       [--env flat|hierarchical] [--nodes N]
+//!       [--selector round-robin|least-loaded] [--out DIR] <command>
 //!
 //! commands:
 //!   table4    benchmark classification (Table IV)
@@ -18,6 +19,8 @@
 //!   fig12     fairness
 //!   overhead  online decision latency + offline training cost
 //!   oracle    oracle-greedy reference throughput
+//!   cluster   multi-node placement comparison (§VI) vs the
+//!             single-node baseline
 //!   ablate-reward | ablate-agent | ablate-interference
 //!   all       everything above (fig8/11/12 share one training run)
 //! ```
@@ -33,16 +36,22 @@
 //! trains the paper's two-level MIG → MPS formulation instead of the
 //! flat 29-action catalog; evaluation tables then carry a flat-trained
 //! reference row alongside the hierarchical agent and the heuristics.
+//! `--nodes N` sizes the `cluster` command's simulated cluster and
+//! `--selector` picks its placement policy; with `--nodes 1` the
+//! multi-node path reproduces the single-node simulator bit-for-bit,
+//! and the merged timeline is identical for any `--threads` value.
 //!
 //! Malformed invocations (unknown flags or commands, missing or
-//! unparsable values, `--shards 0`, `--env` typos) exit with status 2
-//! and a usage message rather than panicking or silently defaulting.
+//! unparsable values, `--shards 0`, `--nodes 0`, `--env`/`--selector`
+//! typos) exit with status 2 and a usage message rather than panicking
+//! or silently defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
 };
 use hrp_bench::obs::{fig3_mps_sweep, fig4_bandwidth, fig5_variants, FIG5_MIX};
 use hrp_bench::report::{f3, Table};
+use hrp_cluster::SelectorKind;
 use hrp_core::actions::{mig_mps_space, mps_only_space, training_search_space};
 use hrp_core::metrics::arithmetic_mean;
 use hrp_core::rl::EnvKind;
@@ -66,6 +75,10 @@ struct Options {
     shards: usize,
     /// Environment formulation the RL agent trains on.
     env: EnvKind,
+    /// Simulated nodes for the `cluster` command.
+    nodes: usize,
+    /// Placement policy for the `cluster` command.
+    selector: SelectorKind,
 }
 
 impl Options {
@@ -96,9 +109,10 @@ impl Options {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
-[--env flat|hierarchical] [--out DIR|--no-out] <command>
+[--env flat|hierarchical] [--nodes N] [--selector round-robin|least-loaded] \
+[--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
-          overhead oracle ablate-reward ablate-agent ablate-interference all";
+          overhead oracle cluster ablate-reward ablate-agent ablate-interference all";
 
 /// Reject a malformed invocation: message + usage, exit status 2 (never
 /// a panic, never a silent default).
@@ -132,6 +146,8 @@ fn main() {
         overlap: false,
         shards: 1,
         env: EnvKind::Flat,
+        nodes: 1,
+        selector: SelectorKind::RoundRobin,
     };
     let mut cmd: Option<&str> = None;
     let mut it = args.iter();
@@ -158,6 +174,22 @@ fn main() {
                 opts.env = EnvKind::parse(raw).unwrap_or_else(|bad| {
                     fail(&format!(
                         "unknown --env value '{bad}' (expected 'flat' or 'hierarchical')"
+                    ))
+                });
+            }
+            "--nodes" => {
+                let raw = flag_value(&mut it, "--nodes");
+                let n: usize = parse_flag("--nodes", raw);
+                if !(1..=64).contains(&n) {
+                    fail(&format!("--nodes must be in 1..=64 (got '{raw}')"));
+                }
+                opts.nodes = n;
+            }
+            "--selector" => {
+                let raw = flag_value(&mut it, "--selector");
+                opts.selector = SelectorKind::parse(raw).unwrap_or_else(|bad| {
+                    fail(&format!(
+                        "unknown --selector value '{bad}' (expected 'round-robin' or 'least-loaded')"
                     ))
                 });
             }
@@ -222,6 +254,7 @@ fn main() {
         }
         "ablate-interference" => ablate_interference_cmd(&suite, &opts),
         "oracle" => oracle_cmd(&suite, &opts),
+        "cluster" => cluster_cmd(&suite, &opts),
         "all" => {
             table4(&suite, &opts);
             table5(&suite, &opts);
@@ -249,6 +282,7 @@ fn main() {
                 &opts,
             );
             ablate_interference_cmd(&suite, &opts);
+            cluster_cmd(&suite, &opts);
         }
         other => fail(&format!("unknown command '{other}'")),
     }
@@ -505,6 +539,64 @@ fn oracle_cmd(suite: &Suite, opts: &Options) {
     }
     t.row(vec!["AM".into(), f3(run.mean_throughput())]);
     t.emit("oracle_reference", opts.out.as_deref());
+}
+
+fn cluster_cmd(suite: &Suite, opts: &Options) {
+    use hrp_bench::cluster::cluster_compare;
+    let n_jobs = if opts.quick { 48 } else { 144 };
+    let cmp = cluster_compare(suite, n_jobs, opts.nodes, opts.selector, opts.threads);
+    println!(
+        "# cluster: {} node(s) x {} GPUs, selector {}, {} jobs",
+        opts.nodes,
+        hrp_bench::cluster::GPUS_PER_NODE,
+        opts.selector.name(),
+        n_jobs
+    );
+    println!("# timeline digest: {:016x}", cmp.report.timeline.digest());
+    let mut t = Table::new(&[
+        "row",
+        "jobs",
+        "placements",
+        "makespan",
+        "utilization",
+        "avg_wait",
+        "throughput",
+        "speedup_vs_1node",
+    ]);
+    for n in &cmp.report.per_node {
+        t.row(vec![
+            format!("node{}", n.node),
+            n.jobs.to_string(),
+            n.placements.to_string(),
+            f3(n.makespan),
+            f3(n.utilization),
+            f3(n.avg_wait),
+            f3(n.throughput()),
+            "-".into(),
+        ]);
+    }
+    let agg = &cmp.report.aggregate;
+    t.row(vec![
+        "aggregate".into(),
+        cmp.report.completed_jobs().to_string(),
+        agg.placements.to_string(),
+        f3(agg.makespan),
+        f3(agg.utilization),
+        f3(agg.avg_wait),
+        f3(cmp.report.throughput()),
+        f3(cmp.speedup()),
+    ]);
+    t.row(vec![
+        "single-node baseline".into(),
+        n_jobs.to_string(),
+        cmp.baseline.placements.to_string(),
+        f3(cmp.baseline.makespan),
+        f3(cmp.baseline.utilization),
+        f3(cmp.baseline.avg_wait),
+        f3(n_jobs as f64 / cmp.baseline.makespan),
+        f3(1.0),
+    ]);
+    t.emit("cluster_scaling", opts.out.as_deref());
 }
 
 fn ablate_interference_cmd(suite: &Suite, opts: &Options) {

@@ -1,0 +1,102 @@
+//! Multi-node placement comparison backing `repro cluster`.
+//!
+//! One deterministic staggered trace is run through an `N`-node
+//! [`MultiNodeSim`] under the chosen [`SelectorKind`], and through the
+//! original single-node [`ClusterSim`] as the baseline every placement
+//! policy is compared against. Each node runs the co-scheduling
+//! dispatcher with the evaluation defaults (`W = 4` windows,
+//! `Cmax = 4`, the MPS-only node policy — no training required, so the
+//! command is cheap). With `nodes = 1` the multi-node path reproduces
+//! the baseline bit-for-bit (see `tests/multinode_contract.rs`).
+
+use hrp_cluster::multinode::{staggered_trace, MultiNodeReport, MultiNodeSim};
+use hrp_cluster::sim::ClusterSim;
+use hrp_cluster::{ClusterReport, CoSchedulingDispatcher, SelectorKind};
+use hrp_core::policies::MpsOnly;
+use hrp_workloads::Suite;
+
+/// Window size of each node's co-scheduling dispatcher.
+pub const CLUSTER_W: usize = 4;
+/// Concurrency cap of each node's co-scheduling dispatcher.
+pub const CLUSTER_CMAX: usize = 4;
+/// GPUs per simulated node.
+pub const GPUS_PER_NODE: usize = 2;
+
+/// A fresh node-local dispatcher with the evaluation defaults.
+#[must_use]
+pub fn node_dispatcher() -> CoSchedulingDispatcher<MpsOnly> {
+    CoSchedulingDispatcher::new(MpsOnly, CLUSTER_W, CLUSTER_CMAX)
+}
+
+/// An `N`-node run next to its single-node baseline.
+#[derive(Debug)]
+pub struct ClusterComparison {
+    /// The multi-node run.
+    pub report: MultiNodeReport,
+    /// The same trace through the single-node simulator.
+    pub baseline: ClusterReport,
+}
+
+impl ClusterComparison {
+    /// Cluster-makespan speedup over the single-node baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.report.aggregate.makespan > 0.0 {
+            self.baseline.makespan / self.report.aggregate.makespan
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Run the staggered `n_jobs` trace on `nodes` nodes under `selector`,
+/// and on the single-node baseline. `threads` caps the per-epoch node
+/// fan-out (`0` = available parallelism); results are identical for
+/// any value.
+#[must_use]
+pub fn cluster_compare(
+    suite: &Suite,
+    n_jobs: usize,
+    nodes: usize,
+    selector: SelectorKind,
+    threads: usize,
+) -> ClusterComparison {
+    let jobs = staggered_trace(suite, n_jobs);
+    let mut sel = selector.build();
+    let report = MultiNodeSim::new(nodes, GPUS_PER_NODE)
+        .with_threads(threads)
+        .run(suite, jobs.clone(), sel.as_mut(), |_| node_dispatcher());
+    let mut base = node_dispatcher();
+    let baseline = ClusterSim::new(GPUS_PER_NODE).run(suite, jobs, &mut base);
+    ClusterComparison { report, baseline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrp_gpusim::GpuArch;
+
+    #[test]
+    fn one_node_comparison_is_the_baseline_itself() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let cmp = cluster_compare(&suite, 16, 1, SelectorKind::RoundRobin, 1);
+        assert_eq!(cmp.report.aggregate, cmp.baseline);
+        assert!((cmp.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_nodes_beat_the_single_node_baseline() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        for selector in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
+            let cmp = cluster_compare(&suite, 24, 4, selector, 0);
+            assert!(
+                cmp.speedup() > 1.0,
+                "{}: 4 nodes should beat 1 ({} vs {})",
+                selector.name(),
+                cmp.report.aggregate.makespan,
+                cmp.baseline.makespan
+            );
+            assert_eq!(cmp.report.completed_jobs(), 24);
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //!   four-option partition comparison;
 //! * [`eval`] — the full §V evaluation: five policies × twelve queues,
 //!   with window/Cmax scaling and ablations;
+//! * [`cluster`] — the §VI multi-node placement comparison
+//!   (`repro cluster --nodes N --selector X` vs the single-node
+//!   baseline);
 //! * [`report`] — TSV table assembly and file output.
 //!
 //! The `repro` binary stitches these into one subcommand per figure and
@@ -17,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod eval;
 pub mod obs;
 pub mod report;

@@ -75,6 +75,16 @@ impl<P: Policy> CoSchedulingDispatcher<P> {
         self
     }
 
+    /// Whether under-full windows launch (default `true`). With
+    /// `false`, a backlog smaller than `w` waits for more arrivals —
+    /// the trace must guarantee they come, or the trailing partial
+    /// window never forms and the simulator's deadlock check fires.
+    #[must_use]
+    pub fn with_flush_partial(mut self, flush: bool) -> Self {
+        self.flush_partial = flush;
+        self
+    }
+
     /// Number of windows scheduled so far.
     #[must_use]
     pub fn windows_scheduled(&self) -> usize {
@@ -319,6 +329,50 @@ mod tests {
             assert_eq!(got, base, "threads = {threads}");
             assert_eq!(par.windows_scheduled(), serial.windows_scheduled());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn window_that_never_forms_is_a_deadlock() {
+        let s = suite();
+        // Two singles can never fill a window of four, and no more
+        // arrivals are coming: with partial flushing off, the drain
+        // must flag the stranded backlog.
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 0.0, 1, &s),
+            ClusterJob::new(1, "kmeans", 0.0, 1, &s),
+        ];
+        let mut co = CoSchedulingDispatcher::new(MpsOnly, 4, 4).with_flush_partial(false);
+        let _ = ClusterSim::new(1).run(&s, jobs, &mut co);
+    }
+
+    #[test]
+    fn late_arrivals_complete_the_window_when_partial_flush_is_off() {
+        let s = suite();
+        // The same two singles, plus two more arriving later: the
+        // window forms only once all four are waiting.
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 0.0, 1, &s),
+            ClusterJob::new(1, "kmeans", 0.0, 1, &s),
+            ClusterJob::new(2, "pathfinder", 7.0, 1, &s),
+            ClusterJob::new(3, "lud_A", 7.0, 1, &s),
+        ];
+        let mut co = CoSchedulingDispatcher::new(MpsOnly, 4, 4).with_flush_partial(false);
+        let report = ClusterSim::new(1).run(&s, jobs, &mut co);
+        assert_eq!(report.placements, 1, "one full window");
+        assert_eq!(co.windows_scheduled(), 1);
+        // Nothing could start before the window completed at t = 7.
+        assert!(report.avg_wait >= 3.5 - 1e-9, "{}", report.avg_wait);
+    }
+
+    #[test]
+    fn empty_queue_drains_without_windows() {
+        let s = suite();
+        let mut co = CoSchedulingDispatcher::new(MpsOnly, 4, 4);
+        let report = ClusterSim::new(2).run(&s, Vec::new(), &mut co);
+        assert_eq!(report.placements, 0);
+        assert_eq!(co.windows_scheduled(), 0);
+        assert_eq!(report.makespan, 0.0);
     }
 
     #[test]

@@ -134,6 +134,60 @@ mod tests {
     }
 
     #[test]
+    fn empty_queue_yields_no_placement() {
+        let s = suite();
+        let mut fcfs = FcfsBackfill::new();
+        assert_eq!(fcfs.next_placement(&s, &[], 4, 0.0), None);
+        let report = ClusterSim::new(4).run(&s, Vec::new(), &mut fcfs);
+        assert_eq!(report.placements, 0);
+        assert_eq!(report.makespan, 0.0);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_start_in_submission_order() {
+        let s = suite();
+        // Three 1-GPU jobs at the same instant on one GPU: strict FCFS
+        // order, waits of 0, 10, and 10 + 16 seconds.
+        let jobs = vec![
+            ClusterJob::new(0, "stream", 3.0, 1, &s),     // 10 s
+            ClusterJob::new(1, "kmeans", 3.0, 1, &s),     // 16 s
+            ClusterJob::new(2, "pathfinder", 3.0, 1, &s), // 14 s
+        ];
+        let report = ClusterSim::new(1).run(&s, jobs, &mut FcfsBackfill::new());
+        assert_eq!(report.placements, 3);
+        assert!((report.makespan - 43.0).abs() < 1e-9, "{}", report.makespan);
+        assert!((report.avg_wait - 12.0).abs() < 1e-9, "{}", report.avg_wait);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn head_wider_than_the_cluster_deadlocks() {
+        let s = suite();
+        // The head can never start; conservative backfilling keeps
+        // later jobs flowing, but the drain must flag the stranded
+        // head rather than exit silently.
+        let jobs = vec![
+            ClusterJob::new(0, "lavaMD", 0.0, 4, &s), // wider than the pool
+            ClusterJob::new(1, "stream", 0.0, 1, &s),
+        ];
+        let _ = ClusterSim::new(2).run(&s, jobs, &mut FcfsBackfill::new());
+    }
+
+    #[test]
+    fn infinite_head_estimate_lets_everything_backfill() {
+        let s = suite();
+        // Head blocked forever (needs 4 of 2 GPUs) → its start estimate
+        // is infinite, so every later job backfills freely.
+        let mut fcfs = FcfsBackfill::new();
+        let waiting = vec![
+            ClusterJob::new(0, "lavaMD", 0.0, 4, &s),
+            ClusterJob::new(1, "stream", 0.0, 1, &s),
+        ];
+        let p = fcfs.next_placement(&s, &waiting, 2, 0.0);
+        assert_eq!(p.expect("backfill").job_ids, vec![1]);
+    }
+
+    #[test]
     fn wide_job_eventually_runs() {
         let s = suite();
         let jobs = vec![

@@ -8,8 +8,15 @@
 //! that sketch:
 //!
 //! * [`job`] — cluster jobs with arrival times and GPU counts;
-//! * [`sim`] — an event-driven cluster simulator (GPUs as resources,
-//!   job completions as events);
+//! * [`sim`] — the event-driven per-node simulator: the reusable
+//!   [`sim::NodeRun`] event loop (GPUs as resources, job completions as
+//!   events, every state change recorded as a [`sim::NodeEvent`]) and
+//!   the single-node [`ClusterSim`] wrapper;
+//! * [`multinode`] — `N` nodes simulated concurrently, fed from a
+//!   global arrival queue by a pluggable node selector, their event
+//!   streams merged into one deterministic `(time, node, seq)`-ordered
+//!   cluster timeline — bit-identical for any thread count, and
+//!   event-for-event identical to [`ClusterSim`] when `N = 1`;
 //! * [`fcfs`] — First-Come-First-Serve with conservative backfilling
 //!   (the comparator the paper names);
 //! * [`cosched`] — the co-scheduling dispatcher: single-GPU jobs are
@@ -19,7 +26,11 @@
 //!   Crowded backlogs drain their windows through a parallel planner
 //!   ([`CoSchedulingDispatcher::with_threads`]) that is schedule-
 //!   identical to the serial drain for any thread count;
-//! * [`select`] — the queue-pressure policy selector of §VI.
+//! * [`select`] — the queue-pressure policy selector of §VI, plus the
+//!   global placement tier: [`select::RoundRobin`],
+//!   [`select::LeastLoaded`], and the RL hook
+//!   ([`hrp_core::cluster_env::PolicySelector`]) behind the
+//!   [`select::NodeSelector`] trait.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,11 +38,13 @@
 pub mod cosched;
 pub mod fcfs;
 pub mod job;
+pub mod multinode;
 pub mod select;
 pub mod sim;
 
 pub use cosched::CoSchedulingDispatcher;
 pub use fcfs::FcfsBackfill;
 pub use job::ClusterJob;
-pub use select::{select_policy, PressurePolicy};
-pub use sim::{ClusterReport, ClusterSim};
+pub use multinode::{ClusterTimeline, MultiNodeReport, MultiNodeSim, NodeSummary};
+pub use select::{select_policy, NodeSelector, PressurePolicy, SelectorKind};
+pub use sim::{ClusterReport, ClusterSim, NodeEvent};

@@ -1,0 +1,494 @@
+//! Multi-node cluster simulation with deterministic event-stream
+//! merging (the paper's §VI "many nodes" future work).
+//!
+//! A [`MultiNodeSim`] is `N` simulated nodes, each running its own
+//! dispatcher over its own [`crate::sim::NodeRun`] event loop, fed from
+//! one global arrival queue by a pluggable [`NodeSelector`]
+//! (round-robin, least-loaded, or an RL policy — see [`crate::select`]).
+//!
+//! # Epochs and the merge barrier
+//!
+//! The global trace is processed arrival-instant by arrival-instant:
+//!
+//! 1. **Advance** — every node simulates concurrently up to the next
+//!    arrival time `t` via [`hrp_core::par::parallel_map`] (nodes are
+//!    independent between arrivals, so this is safe fan-out);
+//! 2. **Barrier + select** — with all nodes parked at `t`, their load
+//!    snapshots are taken and the selector assigns the instant's jobs
+//!    one by one, each assignment updating the snapshot it hands the
+//!    next (a burst spreads out instead of dog-piling one node);
+//! 3. after the last arrival, a final fan-out drains every node.
+//!
+//! # Determinism contract
+//!
+//! Selector decisions depend only on the (deterministic) barrier
+//! snapshots, and every node's event stream carries a per-node sequence
+//! number, so merging the streams under the stable `(time, node, seq)`
+//! key yields **one bit-identical cluster timeline for any thread
+//! count** — the same contract the training pipeline and the window
+//! drain obey. A one-node cluster executes the exact event cycle of
+//! [`ClusterSim::run`](crate::sim::ClusterSim::run) and is
+//! event-for-event identical to it (property-tested in
+//! `tests/multinode_contract.rs`, pinned in `tests/golden_cluster.rs`).
+//!
+//! ```
+//! use hrp_cluster::multinode::{staggered_trace, MultiNodeSim};
+//! use hrp_cluster::select::SelectorKind;
+//! use hrp_cluster::CoSchedulingDispatcher;
+//! use hrp_core::policies::MpsOnly;
+//! use hrp_gpusim::GpuArch;
+//! use hrp_workloads::Suite;
+//!
+//! let suite = Suite::paper_suite(&GpuArch::a100());
+//! let jobs = staggered_trace(&suite, 12);
+//! let mut selector = SelectorKind::LeastLoaded.build();
+//! let report = MultiNodeSim::new(2, 2).run(&suite, jobs, selector.as_mut(), |_| {
+//!     CoSchedulingDispatcher::new(MpsOnly, 4, 4)
+//! });
+//! assert_eq!(report.completed_jobs(), 12);
+//! assert_eq!(report.per_node.len(), 2);
+//! assert!(report.aggregate.makespan > 0.0);
+//! ```
+
+use crate::job::ClusterJob;
+use crate::sim::{ClusterReport, Dispatcher, EventKind, NodeEvent, NodeRun, NodeStats};
+use hrp_core::cluster_env::NodeSelector;
+use hrp_core::par::parallel_map;
+use hrp_workloads::Suite;
+use std::sync::Mutex;
+
+/// The merged, `(time, node, seq)`-ordered cluster event stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterTimeline {
+    /// Merged events in deterministic order.
+    pub events: Vec<NodeEvent>,
+}
+
+impl ClusterTimeline {
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a hash over the canonical encoding of every event — the
+    /// "schedule fingerprint" golden tests pin. Two runs share a digest
+    /// iff they produced the identical event sequence (times compared
+    /// bit-for-bit).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *h ^= u64::from(*b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        fn mix_u64(h: &mut u64, v: u64) {
+            mix(h, &v.to_le_bytes());
+        }
+        let mut h = OFFSET;
+        for e in &self.events {
+            mix_u64(&mut h, e.time.to_bits());
+            mix_u64(&mut h, e.node as u64);
+            mix_u64(&mut h, e.seq);
+            match &e.kind {
+                EventKind::Arrival { job } => {
+                    mix(&mut h, &[0]);
+                    mix_u64(&mut h, *job as u64);
+                }
+                EventKind::Start {
+                    job_ids,
+                    gpus,
+                    duration,
+                } => {
+                    mix(&mut h, &[1]);
+                    mix_u64(&mut h, job_ids.len() as u64);
+                    for id in job_ids {
+                        mix_u64(&mut h, *id as u64);
+                    }
+                    mix_u64(&mut h, *gpus as u64);
+                    mix_u64(&mut h, duration.to_bits());
+                }
+                EventKind::Finish { job_ids, gpus } => {
+                    mix(&mut h, &[2]);
+                    mix_u64(&mut h, job_ids.len() as u64);
+                    for id in job_ids {
+                        mix_u64(&mut h, *id as u64);
+                    }
+                    mix_u64(&mut h, *gpus as u64);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// One node's digest of a multi-node run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSummary {
+    /// Node id.
+    pub node: usize,
+    /// Jobs the selector routed here.
+    pub jobs: usize,
+    /// Placements the node's dispatcher executed.
+    pub placements: usize,
+    /// Time the node's last placement finished (0 for an idle node).
+    pub makespan: f64,
+    /// Mean GPU busy fraction over the node's makespan.
+    pub utilization: f64,
+    /// Mean wait of the node's jobs.
+    pub avg_wait: f64,
+}
+
+impl NodeSummary {
+    /// Completed jobs per second of node makespan.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.jobs as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Results of a multi-node run: per-node digests, cluster-level
+/// aggregates, and the merged deterministic timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiNodeReport {
+    /// One summary per node, indexed by node id.
+    pub per_node: Vec<NodeSummary>,
+    /// Cluster-level aggregate (for one node, bit-identical to the
+    /// single-node [`ClusterSim::run`](crate::sim::ClusterSim::run)
+    /// report on the same trace).
+    pub aggregate: ClusterReport,
+    /// The merged `(time, node, seq)`-ordered event stream.
+    pub timeline: ClusterTimeline,
+}
+
+impl MultiNodeReport {
+    /// Jobs whose placements finished, summed over the timeline's
+    /// finish events — the conservation check the property suite pins.
+    #[must_use]
+    pub fn completed_jobs(&self) -> usize {
+        self.timeline
+            .events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::Finish { job_ids, .. } => job_ids.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Completed jobs per second of cluster makespan.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.aggregate.makespan > 0.0 {
+            self.completed_jobs() as f64 / self.aggregate.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A cluster of `nodes` identical nodes with `gpus_per_node` GPUs each.
+#[derive(Debug)]
+pub struct MultiNodeSim {
+    nodes: usize,
+    gpus_per_node: usize,
+    threads: usize,
+}
+
+impl MultiNodeSim {
+    /// New cluster. `nodes` is capped at 64 (selector masks are `u64`).
+    #[must_use]
+    pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+        assert!((1..=64).contains(&nodes), "1..=64 nodes, got {nodes}");
+        assert!(gpus_per_node >= 1);
+        Self {
+            nodes,
+            gpus_per_node,
+            threads: 1,
+        }
+    }
+
+    /// Simulate nodes with up to `threads` worker threads per epoch
+    /// (`0` = available parallelism). The merged timeline is identical
+    /// for any value; only wall-clock changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Run a global job trace through the cluster: `selector` routes
+    /// each arrival to a node, `make_dispatcher(node)` builds the
+    /// node-local dispatcher.
+    ///
+    /// # Panics
+    /// Panics if a job requests more GPUs than a node has, if the
+    /// selector returns an out-of-range node, or if a node's dispatcher
+    /// strands jobs (the per-node deadlock check).
+    pub fn run<D, F>(
+        &self,
+        suite: &Suite,
+        mut jobs: Vec<ClusterJob>,
+        selector: &mut dyn NodeSelector,
+        mut make_dispatcher: F,
+    ) -> MultiNodeReport
+    where
+        D: Dispatcher + Send,
+        F: FnMut(usize) -> D,
+    {
+        for j in &jobs {
+            assert!(
+                j.gpus <= self.gpus_per_node,
+                "job {} needs {} GPUs but nodes have {}",
+                j.id,
+                j.gpus,
+                self.gpus_per_node
+            );
+        }
+        // Stable by arrival: simultaneous submissions keep their order,
+        // exactly like the single-node simulator.
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        let total_jobs = jobs.len();
+
+        let slots: Vec<Mutex<NodeRun<D>>> = (0..self.nodes)
+            .map(|i| Mutex::new(NodeRun::new(i, self.gpus_per_node, make_dispatcher(i))))
+            .collect();
+        let advance_all = |horizon: f64| {
+            parallel_map(self.nodes, self.threads, |i| {
+                slots[i]
+                    .lock()
+                    .expect("node lock")
+                    .advance_until(suite, horizon);
+            });
+        };
+
+        let mut queue = jobs.into_iter().peekable();
+        while let Some(first) = queue.next() {
+            let t = first.arrival;
+            let mut burst = vec![first];
+            while queue
+                .peek()
+                .is_some_and(|j| j.arrival.total_cmp(&t).is_eq())
+            {
+                burst.push(queue.next().expect("peeked"));
+            }
+            // Epoch: advance every node to this arrival instant, then
+            // place the instant's jobs against the barrier snapshots.
+            advance_all(t);
+            let mut loads: Vec<_> = slots
+                .iter()
+                .map(|s| s.lock().expect("node lock").load(suite, t))
+                .collect();
+            for job in burst {
+                let work = job.solo_time(suite);
+                let node = selector.select(job.gpus, work, &loads);
+                assert!(
+                    node < self.nodes,
+                    "selector picked node {node} of {}",
+                    self.nodes
+                );
+                loads[node].outstanding += work;
+                loads[node].queued_jobs += 1;
+                slots[node].lock().expect("node lock").push_arrival(job);
+            }
+        }
+        advance_all(f64::INFINITY);
+
+        let mut stats: Vec<NodeStats> = Vec::with_capacity(self.nodes);
+        let mut events: Vec<NodeEvent> = Vec::new();
+        for slot in slots {
+            let (s, e, _) = slot.into_inner().expect("node lock").finish();
+            stats.push(s);
+            events.extend(e);
+        }
+        events.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then(a.node.cmp(&b.node))
+                .then(a.seq.cmp(&b.seq))
+        });
+        debug_assert_eq!(
+            stats.iter().map(|s| s.completed).sum::<usize>(),
+            total_jobs,
+            "every job must complete"
+        );
+
+        let makespan = stats.iter().map(|s| s.makespan).fold(0.0, f64::max);
+        let wait_sum: f64 = stats.iter().map(|s| s.wait_sum).sum();
+        let busy: f64 = stats.iter().map(|s| s.busy_gpu_seconds).sum();
+        let total_gpus = self.nodes * self.gpus_per_node;
+        let aggregate = ClusterReport {
+            makespan,
+            avg_wait: if total_jobs > 0 {
+                wait_sum / total_jobs as f64
+            } else {
+                0.0
+            },
+            utilization: if makespan > 0.0 {
+                busy / (makespan * total_gpus as f64)
+            } else {
+                0.0
+            },
+            placements: stats.iter().map(|s| s.placements).sum(),
+        };
+        let per_node = stats
+            .into_iter()
+            .map(|s| NodeSummary {
+                node: s.node,
+                jobs: s.jobs,
+                placements: s.placements,
+                makespan: s.makespan,
+                utilization: if s.makespan > 0.0 {
+                    s.busy_gpu_seconds / (s.makespan * self.gpus_per_node as f64)
+                } else {
+                    0.0
+                },
+                avg_wait: if s.jobs > 0 {
+                    s.wait_sum / s.jobs as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        MultiNodeReport {
+            per_node,
+            aggregate,
+            timeline: ClusterTimeline { events },
+        }
+    }
+}
+
+/// A deterministic demo/benchmark trace: `n` jobs drawn from the suite
+/// with a class-interleaving stride, arriving in bursts of four every
+/// 5 s; every ninth job asks for two GPUs (gang-scheduled exclusively
+/// by the co-scheduling dispatcher).
+#[must_use]
+pub fn staggered_trace(suite: &Suite, n: usize) -> Vec<ClusterJob> {
+    (0..n)
+        .map(|i| {
+            let name = suite.by_index((i * 7) % suite.len()).app.name.clone();
+            let gpus = if i % 9 == 8 { 2 } else { 1 };
+            ClusterJob::new(i, &name, (i / 4) as f64 * 5.0, gpus, suite)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosched::CoSchedulingDispatcher;
+    use crate::select::{LeastLoaded, RoundRobin, SelectorKind};
+    use crate::sim::ClusterSim;
+    use hrp_core::policies::MpsOnly;
+    use hrp_gpusim::GpuArch;
+
+    fn suite() -> Suite {
+        Suite::paper_suite(&GpuArch::a100())
+    }
+
+    fn dispatcher() -> CoSchedulingDispatcher<MpsOnly> {
+        CoSchedulingDispatcher::new(MpsOnly, 4, 4)
+    }
+
+    #[test]
+    fn one_node_matches_the_single_node_simulator_bit_for_bit() {
+        let s = suite();
+        let jobs = staggered_trace(&s, 20);
+        let mut rr = RoundRobin::default();
+        let multi = MultiNodeSim::new(1, 2).run(&s, jobs.clone(), &mut rr, |_| dispatcher());
+        let mut single = dispatcher();
+        let (base, base_events) = ClusterSim::new(2).run_traced(&s, jobs, &mut single);
+        assert_eq!(multi.aggregate, base);
+        assert_eq!(multi.timeline.events, base_events);
+        assert_eq!(multi.per_node.len(), 1);
+        assert_eq!(multi.per_node[0].jobs, 20);
+    }
+
+    #[test]
+    fn timelines_are_thread_count_invariant() {
+        let s = suite();
+        let jobs = staggered_trace(&s, 24);
+        let run = |threads: usize| {
+            let mut sel = LeastLoaded;
+            MultiNodeSim::new(4, 2)
+                .with_threads(threads)
+                .run(&s, jobs.clone(), &mut sel, |_| dispatcher())
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 0] {
+            let got = run(threads);
+            assert_eq!(got, serial, "threads = {threads}");
+            assert_eq!(got.timeline.digest(), serial.timeline.digest());
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_least_loaded_balances() {
+        let s = suite();
+        let jobs = staggered_trace(&s, 16);
+        let mut rr = RoundRobin::default();
+        let a = MultiNodeSim::new(4, 2).run(&s, jobs.clone(), &mut rr, |_| dispatcher());
+        assert!(
+            a.per_node.iter().all(|n| n.jobs == 4),
+            "round-robin spreads 16 jobs evenly: {:?}",
+            a.per_node.iter().map(|n| n.jobs).collect::<Vec<_>>()
+        );
+        let mut ll = LeastLoaded;
+        let b = MultiNodeSim::new(4, 2).run(&s, jobs, &mut ll, |_| dispatcher());
+        assert_eq!(b.completed_jobs(), 16);
+        assert!(b.per_node.iter().all(|n| n.jobs > 0), "no node starves");
+    }
+
+    #[test]
+    fn more_nodes_shorten_the_makespan() {
+        let s = suite();
+        let jobs = staggered_trace(&s, 24);
+        let mut one = SelectorKind::LeastLoaded.build();
+        let single = MultiNodeSim::new(1, 2).run(&s, jobs.clone(), one.as_mut(), |_| dispatcher());
+        let mut four = SelectorKind::LeastLoaded.build();
+        let quad = MultiNodeSim::new(4, 2).run(&s, jobs, four.as_mut(), |_| dispatcher());
+        assert!(
+            quad.aggregate.makespan < single.aggregate.makespan,
+            "4 nodes {} should beat 1 node {}",
+            quad.aggregate.makespan,
+            single.aggregate.makespan
+        );
+    }
+
+    #[test]
+    fn digest_tracks_the_event_sequence() {
+        let s = suite();
+        let jobs = staggered_trace(&s, 12);
+        let mut rr = RoundRobin::default();
+        let a = MultiNodeSim::new(2, 2).run(&s, jobs.clone(), &mut rr, |_| dispatcher());
+        let mut ll = LeastLoaded;
+        let b = MultiNodeSim::new(2, 2).run(&s, jobs, &mut ll, |_| dispatcher());
+        assert_eq!(a.timeline.digest(), a.timeline.digest(), "digest is pure");
+        // The two selectors place differently on this trace, and the
+        // digest must see it.
+        assert_ne!(a.timeline.events, b.timeline.events);
+        assert_ne!(a.timeline.digest(), b.timeline.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 4 GPUs")]
+    fn oversized_jobs_are_rejected_up_front() {
+        let s = suite();
+        let jobs = vec![ClusterJob::new(0, "lavaMD", 0.0, 4, &s)];
+        let mut rr = RoundRobin::default();
+        let _ = MultiNodeSim::new(2, 2).run(&s, jobs, &mut rr, |_| dispatcher());
+    }
+}

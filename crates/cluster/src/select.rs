@@ -1,11 +1,25 @@
-//! Queue-pressure policy selection (paper §VI):
+//! Scheduling-regime and node-placement selection (paper §VI):
 //!
 //! > "When the system becomes less crowded, a commonly used scheduling
 //! > policy such as FCFS with backfilling without co-scheduling can be a
 //! > more efficient option. Therefore, in practice, we may choose the
 //! > policy between them depending on the system state."
+//!
+//! Two layers of choice live here:
+//!
+//! * [`select_policy`] — the queue-pressure switch between FCFS and
+//!   window co-scheduling *within* a node;
+//! * the [`NodeSelector`] implementations — the global placement tier
+//!   *above* the nodes, consulted by
+//!   [`crate::multinode::MultiNodeSim`] for every arrival:
+//!   [`RoundRobin`], [`LeastLoaded`], and (via the trait re-exported
+//!   from `hrp-core`) anything else, including
+//!   [`hrp_core::cluster_env::PolicySelector`] wrapping a trained RL
+//!   snapshot — the §VI "global tier" hook.
 
 use serde::{Deserialize, Serialize};
+
+pub use hrp_core::cluster_env::{NodeLoad, NodeSelector, PolicySelector};
 
 /// Which scheduling regime to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,6 +40,93 @@ pub fn select_policy(waiting_singles: usize, total_gpus: usize, threshold: f64) 
         PressurePolicy::CoScheduling
     } else {
         PressurePolicy::Fcfs
+    }
+}
+
+/// Cyclic placement: job `k` goes to node `k mod N`, ignoring load.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A selector starting at node 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl NodeSelector for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn select(&mut self, _gpus: usize, _work: f64, loads: &[NodeLoad]) -> usize {
+        let node = self.next % loads.len();
+        self.next = self.next.wrapping_add(1);
+        node
+    }
+}
+
+/// Greedy placement: the node with the least outstanding GPU-work
+/// (ties go to the lowest node id, keeping placement deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl NodeSelector for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn select(&mut self, _gpus: usize, _work: f64, loads: &[NodeLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.outstanding.total_cmp(&b.1.outstanding))
+            .map(|(i, _)| i)
+            .expect("at least one node")
+    }
+}
+
+/// CLI-facing selector choice (`repro --selector ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+}
+
+impl SelectorKind {
+    /// Parse a CLI-style name (`round-robin` / `least-loaded`).
+    ///
+    /// # Errors
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "round-robin" | "rr" => Ok(Self::RoundRobin),
+            "least-loaded" | "ll" => Ok(Self::LeastLoaded),
+            other => Err(other.to_owned()),
+        }
+    }
+
+    /// The CLI-style name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Build a fresh selector of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn NodeSelector> {
+        match self {
+            Self::RoundRobin => Box::new(RoundRobin::new()),
+            Self::LeastLoaded => Box::new(LeastLoaded),
+        }
     }
 }
 
@@ -50,5 +151,59 @@ mod tests {
         // 6 waiting on 2 GPUs = pressure 3.
         assert_eq!(select_policy(6, 2, 3.0), PressurePolicy::CoScheduling);
         assert_eq!(select_policy(5, 2, 3.0), PressurePolicy::Fcfs);
+    }
+
+    fn loads(outstanding: &[f64]) -> Vec<NodeLoad> {
+        outstanding
+            .iter()
+            .enumerate()
+            .map(|(node, &o)| NodeLoad {
+                node,
+                total_gpus: 2,
+                free_gpus: 2,
+                queued_jobs: 0,
+                outstanding: o,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_through_nodes() {
+        let mut rr = RoundRobin::new();
+        let l = loads(&[0.0, 0.0, 0.0]);
+        let picks: Vec<usize> = (0..7).map(|_| rr.select(1, 1.0, &l)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(rr.name(), "round-robin");
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum_with_low_id_ties() {
+        let mut ll = LeastLoaded;
+        assert_eq!(ll.select(1, 1.0, &loads(&[9.0, 2.0, 5.0])), 1);
+        assert_eq!(ll.select(1, 1.0, &loads(&[3.0, 3.0, 3.0])), 0, "tie → id 0");
+        assert_eq!(ll.select(1, 1.0, &loads(&[4.0, 1.0, 1.0])), 1);
+        assert_eq!(ll.name(), "least-loaded");
+    }
+
+    #[test]
+    fn selector_kind_parses_and_round_trips() {
+        assert_eq!(
+            SelectorKind::parse("round-robin"),
+            Ok(SelectorKind::RoundRobin)
+        );
+        assert_eq!(SelectorKind::parse("rr"), Ok(SelectorKind::RoundRobin));
+        assert_eq!(
+            SelectorKind::parse("least-loaded"),
+            Ok(SelectorKind::LeastLoaded)
+        );
+        assert_eq!(SelectorKind::parse("ll"), Ok(SelectorKind::LeastLoaded));
+        assert_eq!(
+            SelectorKind::parse("least-busy"),
+            Err("least-busy".to_owned())
+        );
+        for kind in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
+            assert_eq!(SelectorKind::parse(kind.name()), Ok(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
     }
 }

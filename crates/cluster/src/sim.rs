@@ -4,9 +4,30 @@
 //! co-scheduling extension) decide what to start whenever a GPU frees or
 //! a job arrives; the simulator advances time between those events and
 //! collects the report.
+//!
+//! # The per-node event loop
+//!
+//! [`NodeRun`] is the reusable core: one node's clock, GPU pool,
+//! waiting queue, and dispatcher, advanced event by event up to a
+//! horizon. Every state change is recorded as a [`NodeEvent`] with a
+//! per-node sequence number, so a run leaves behind a totally ordered
+//! event stream. [`ClusterSim`] (the original single-node-pool
+//! simulator) is now a thin wrapper: preload every arrival, advance to
+//! the end of time. The multi-node simulator
+//! ([`crate::multinode::MultiNodeSim`]) instead drives many `NodeRun`s
+//! epoch by epoch, injecting arrivals between horizons — the two paths
+//! execute the *same* absorb → dispatch → advance → release cycle, which
+//! is what makes a one-node cluster event-for-event identical to
+//! [`ClusterSim::run`].
 
 use crate::job::ClusterJob;
+use hrp_core::cluster_env::NodeLoad;
 use hrp_workloads::Suite;
+use std::collections::VecDeque;
+
+/// Absolute slack when comparing event times: arrivals and finishes
+/// within this window coalesce into one instant.
+pub const TIME_EPS: f64 = 1e-12;
 
 /// A unit of work the dispatcher starts on one or more GPUs.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +72,348 @@ pub trait Dispatcher {
     ) -> Option<Placement>;
 }
 
+/// What happened at one point of a node's simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A job joined the node's waiting queue.
+    Arrival {
+        /// Cluster job id.
+        job: usize,
+    },
+    /// A placement started occupying GPUs.
+    Start {
+        /// Jobs covered by the placement.
+        job_ids: Vec<usize>,
+        /// GPUs occupied.
+        gpus: usize,
+        /// Planned wall time.
+        duration: f64,
+    },
+    /// A placement released its GPUs.
+    Finish {
+        /// Jobs that completed.
+        job_ids: Vec<usize>,
+        /// GPUs released.
+        gpus: usize,
+    },
+}
+
+/// One entry of a node's (or the merged cluster's) event stream.
+///
+/// `(time, node, seq)` is a total order: `seq` increases monotonically
+/// within a node, so merging per-node streams under this key yields one
+/// deterministic cluster timeline regardless of how node simulations
+/// were interleaved across threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Node the event happened on.
+    pub node: usize,
+    /// Per-node sequence number (ties on `time` resolve by `seq`).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Raw per-node counters a finished [`NodeRun`] hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Node id.
+    pub node: usize,
+    /// Jobs that arrived on this node.
+    pub jobs: usize,
+    /// Jobs whose placements finished.
+    pub completed: usize,
+    /// Placements executed.
+    pub placements: usize,
+    /// Node clock after the final drain (0 for an idle node).
+    pub makespan: f64,
+    /// `Σ duration × gpus` over the node's placements.
+    pub busy_gpu_seconds: f64,
+    /// `Σ (start − arrival)` over the node's jobs.
+    pub wait_sum: f64,
+}
+
+/// One node's resumable event loop: a clock, `n_gpus` GPUs, a waiting
+/// queue, a dispatcher, and the event stream produced so far.
+///
+/// The loop body is the exact cycle the original single-node simulator
+/// ran — absorb due arrivals, let the dispatcher start work, advance to
+/// the next event, release finished placements — except that it stops
+/// at a `horizon` so a multi-node driver can inject the next epoch's
+/// arrivals. A dispatch falling exactly *on* the horizon is deferred to
+/// the next [`NodeRun::advance_until`] call: co-timed arrivals must be
+/// on the queue before the dispatcher sees the freed GPUs, exactly as
+/// if all events lived in one merged queue.
+#[derive(Debug)]
+pub struct NodeRun<D: Dispatcher> {
+    node: usize,
+    n_gpus: usize,
+    dispatcher: D,
+    clock: f64,
+    free: usize,
+    /// Future arrivals, non-decreasing in time.
+    arrivals: VecDeque<ClusterJob>,
+    waiting: Vec<ClusterJob>,
+    /// `(finish_time, gpus, job_ids)` of running placements.
+    running: Vec<(f64, usize, Vec<usize>)>,
+    busy_gpu_seconds: f64,
+    wait_sum: f64,
+    placements: usize,
+    jobs: usize,
+    completed: usize,
+    seq: u64,
+    /// Whether the waiting queue / GPU pool changed since the last
+    /// dispatch, i.e. whether the dispatcher must be consulted again.
+    dirty: bool,
+    events: Vec<NodeEvent>,
+}
+
+impl<D: Dispatcher> NodeRun<D> {
+    /// A fresh node with `n_gpus` idle GPUs at time 0.
+    #[must_use]
+    pub fn new(node: usize, n_gpus: usize, dispatcher: D) -> Self {
+        assert!(n_gpus >= 1);
+        Self {
+            node,
+            n_gpus,
+            dispatcher,
+            clock: 0.0,
+            free: n_gpus,
+            arrivals: VecDeque::new(),
+            waiting: Vec::new(),
+            running: Vec::new(),
+            busy_gpu_seconds: 0.0,
+            wait_sum: 0.0,
+            placements: 0,
+            jobs: 0,
+            completed: 0,
+            seq: 0,
+            dirty: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// The node's current clock.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Queue a future arrival. Arrivals must be pushed in non-decreasing
+    /// time order and must not lie in the node's simulated past.
+    ///
+    /// # Panics
+    /// Panics on out-of-order or past arrivals.
+    pub fn push_arrival(&mut self, job: ClusterJob) {
+        assert!(
+            job.arrival + TIME_EPS >= self.clock,
+            "arrival at {} is in the node's past (clock {})",
+            job.arrival,
+            self.clock
+        );
+        assert!(
+            self.arrivals
+                .back()
+                .is_none_or(|b| b.arrival <= job.arrival + TIME_EPS),
+            "arrivals must be pushed in time order"
+        );
+        self.jobs += 1;
+        self.arrivals.push_back(job);
+    }
+
+    /// The node's load as a [`NodeSelector`](hrp_core::cluster_env::NodeSelector)
+    /// sees it at time `now`: idle GPUs, queue length, and outstanding
+    /// GPU-work (remaining run time of active placements plus the
+    /// solo-time of everything queued).
+    #[must_use]
+    pub fn load(&self, suite: &Suite, now: f64) -> NodeLoad {
+        let mut outstanding = 0.0;
+        for (t, g, _) in &self.running {
+            outstanding += (t - now).max(0.0) * *g as f64;
+        }
+        for j in self.waiting.iter().chain(self.arrivals.iter()) {
+            outstanding += j.solo_time(suite);
+        }
+        NodeLoad {
+            node: self.node,
+            total_gpus: self.n_gpus,
+            free_gpus: self.free,
+            queued_jobs: self.waiting.len() + self.arrivals.len(),
+            outstanding,
+        }
+    }
+
+    fn record(&mut self, time: f64, kind: EventKind) {
+        self.events.push(NodeEvent {
+            time,
+            node: self.node,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Move due arrivals onto the waiting queue.
+    fn absorb_arrivals(&mut self) {
+        while let Some(j) = self.arrivals.front() {
+            if j.arrival <= self.clock + TIME_EPS {
+                let job = self.arrivals.pop_front().expect("peeked");
+                self.record(job.arrival, EventKind::Arrival { job: job.id });
+                self.waiting.push(job);
+                self.dirty = true;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Let the dispatcher start as much as it wants at the current
+    /// clock.
+    fn dispatch(&mut self, suite: &Suite) {
+        while let Some(p) =
+            self.dispatcher
+                .next_placement(suite, &self.waiting, self.free, self.clock)
+        {
+            assert!(p.gpus <= self.free, "dispatcher over-allocated");
+            assert!(!p.job_ids.is_empty());
+            for id in &p.job_ids {
+                let pos = self
+                    .waiting
+                    .iter()
+                    .position(|j| j.id == *id)
+                    .expect("placement references waiting job");
+                let job = self.waiting.remove(pos);
+                self.wait_sum += self.clock - job.arrival;
+            }
+            self.free -= p.gpus;
+            self.busy_gpu_seconds += p.duration * p.gpus as f64;
+            self.running
+                .push((self.clock + p.duration, p.gpus, p.job_ids.clone()));
+            self.placements += 1;
+            self.record(
+                self.clock,
+                EventKind::Start {
+                    job_ids: p.job_ids,
+                    gpus: p.gpus,
+                    duration: p.duration,
+                },
+            );
+        }
+    }
+
+    /// Release placements that finished by the current clock.
+    fn release_finished(&mut self) {
+        let mut still = Vec::with_capacity(self.running.len());
+        for (t, g, ids) in std::mem::take(&mut self.running) {
+            if t <= self.clock + TIME_EPS {
+                self.free += g;
+                self.completed += ids.len();
+                self.record(
+                    t,
+                    EventKind::Finish {
+                        job_ids: ids,
+                        gpus: g,
+                    },
+                );
+                self.dirty = true;
+            } else {
+                still.push((t, g, ids));
+            }
+        }
+        self.running = still;
+    }
+
+    /// Advance the node through every event up to `horizon`.
+    ///
+    /// With `horizon = f64::INFINITY` the node drains completely (the
+    /// end-of-trace deadlock check fires if the dispatcher strands
+    /// waiting jobs). With a finite horizon the node stops with its
+    /// clock at or before the horizon; a dispatch due exactly at the
+    /// horizon stays pending until the next call, so the caller can
+    /// first push the arrivals belonging to that instant.
+    ///
+    /// # Panics
+    /// Panics if the dispatcher over-allocates, references unknown
+    /// jobs, or (on a full drain) strands waiting jobs forever.
+    pub fn advance_until(&mut self, suite: &Suite, horizon: f64) {
+        loop {
+            self.absorb_arrivals();
+            // At the horizon: defer the dispatch to the next call (the
+            // caller is about to push this instant's arrivals).
+            if self.clock + TIME_EPS >= horizon {
+                break;
+            }
+            if self.dirty {
+                self.dispatch(suite);
+                self.dirty = false;
+            }
+            let next_finish = self
+                .running
+                .iter()
+                .map(|(t, _, _)| *t)
+                .fold(f64::INFINITY, f64::min);
+            let next_arrival = self.arrivals.front().map_or(f64::INFINITY, |j| j.arrival);
+            let next = next_finish.min(next_arrival);
+            if !next.is_finite() {
+                if horizon.is_finite() {
+                    break;
+                }
+                assert!(
+                    self.waiting.is_empty(),
+                    "deadlock: {} jobs waiting, dispatcher idle",
+                    self.waiting.len()
+                );
+                break;
+            }
+            if next > horizon + TIME_EPS {
+                break;
+            }
+            self.clock = next;
+            self.release_finished();
+        }
+    }
+
+    /// Finish the run: per-node counters plus the recorded event
+    /// stream (and the dispatcher, for callers that want its state).
+    #[must_use]
+    pub fn finish(self) -> (NodeStats, Vec<NodeEvent>, D) {
+        (
+            NodeStats {
+                node: self.node,
+                jobs: self.jobs,
+                completed: self.completed,
+                placements: self.placements,
+                makespan: self.clock,
+                busy_gpu_seconds: self.busy_gpu_seconds,
+                wait_sum: self.wait_sum,
+            },
+            self.events,
+            self.dispatcher,
+        )
+    }
+}
+
+/// Delegating shim so `&mut dyn Dispatcher` drives a [`NodeRun`].
+struct DynDispatcher<'a>(&'a mut dyn Dispatcher);
+
+impl Dispatcher for DynDispatcher<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn next_placement(
+        &mut self,
+        suite: &Suite,
+        waiting: &[ClusterJob],
+        free_gpus: usize,
+        now: f64,
+    ) -> Option<Placement> {
+        self.0.next_placement(suite, waiting, free_gpus, now)
+    }
+}
+
 /// The simulator: runs a job trace through a dispatcher on `n_gpus`.
 #[derive(Debug)]
 pub struct ClusterSim {
@@ -73,90 +436,47 @@ impl ClusterSim {
     pub fn run(
         &self,
         suite: &Suite,
-        mut jobs: Vec<ClusterJob>,
+        jobs: Vec<ClusterJob>,
         dispatcher: &mut dyn Dispatcher,
     ) -> ClusterReport {
+        self.run_traced(suite, jobs, dispatcher).0
+    }
+
+    /// Like [`ClusterSim::run`], also returning the event stream (all
+    /// events carry node id 0).
+    ///
+    /// # Panics
+    /// Same conditions as [`ClusterSim::run`].
+    pub fn run_traced(
+        &self,
+        suite: &Suite,
+        mut jobs: Vec<ClusterJob>,
+        dispatcher: &mut dyn Dispatcher,
+    ) -> (ClusterReport, Vec<NodeEvent>) {
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         let total_jobs = jobs.len();
-        let mut clock = 0.0f64;
-        let mut free = self.n_gpus;
-        let mut waiting: Vec<ClusterJob> = Vec::new();
-        let mut arrivals = jobs.into_iter().peekable();
-        // (finish_time, gpus) of running placements.
-        let mut running: Vec<(f64, usize)> = Vec::new();
-        let mut busy_gpu_seconds = 0.0f64;
-        let mut wait_sum = 0.0f64;
-        let mut placements = 0usize;
-
-        loop {
-            // Absorb arrivals up to `clock`.
-            while let Some(j) = arrivals.peek() {
-                if j.arrival <= clock + 1e-12 {
-                    waiting.push(arrivals.next().expect("peeked"));
-                } else {
-                    break;
-                }
-            }
-            // Start as much as the dispatcher wants.
-            while let Some(p) = dispatcher.next_placement(suite, &waiting, free, clock) {
-                assert!(p.gpus <= free, "dispatcher over-allocated");
-                assert!(!p.job_ids.is_empty());
-                for id in &p.job_ids {
-                    let pos = waiting
-                        .iter()
-                        .position(|j| j.id == *id)
-                        .expect("placement references waiting job");
-                    let job = waiting.remove(pos);
-                    wait_sum += clock - job.arrival;
-                }
-                free -= p.gpus;
-                busy_gpu_seconds += p.duration * p.gpus as f64;
-                running.push((clock + p.duration, p.gpus));
-                placements += 1;
-            }
-            // Advance to the next event.
-            let next_finish = running
-                .iter()
-                .map(|(t, _)| *t)
-                .fold(f64::INFINITY, f64::min);
-            let next_arrival = arrivals.peek().map_or(f64::INFINITY, |j| j.arrival);
-            let next = next_finish.min(next_arrival);
-            if next.is_infinite() {
-                assert!(
-                    waiting.is_empty(),
-                    "deadlock: {} jobs waiting, dispatcher idle",
-                    waiting.len()
-                );
-                break;
-            }
-            clock = next;
-            // Release finished placements.
-            let mut still = Vec::with_capacity(running.len());
-            for (t, g) in running {
-                if t <= clock + 1e-12 {
-                    free += g;
-                } else {
-                    still.push((t, g));
-                }
-            }
-            running = still;
+        let mut node = NodeRun::new(0, self.n_gpus, DynDispatcher(dispatcher));
+        for job in jobs {
+            node.push_arrival(job);
         }
-
-        let makespan = clock;
-        ClusterReport {
+        node.advance_until(suite, f64::INFINITY);
+        let (stats, events, _) = node.finish();
+        let makespan = stats.makespan;
+        let report = ClusterReport {
             makespan,
             avg_wait: if total_jobs > 0 {
-                wait_sum / total_jobs as f64
+                stats.wait_sum / total_jobs as f64
             } else {
                 0.0
             },
             utilization: if makespan > 0.0 {
-                busy_gpu_seconds / (makespan * self.n_gpus as f64)
+                stats.busy_gpu_seconds / (makespan * self.n_gpus as f64)
             } else {
                 0.0
             },
-            placements,
-        }
+            placements: stats.placements,
+        };
+        (report, events)
     }
 }
 
@@ -237,5 +557,121 @@ mod tests {
         let report = ClusterSim::new(2).run(&s, jobs, &mut OneByOne);
         assert!((report.makespan - 19.0).abs() < 1e-9);
         assert!((report.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_drains_to_a_zeroed_report() {
+        let s = suite();
+        let (report, events) = ClusterSim::new(2).run_traced(&s, Vec::new(), &mut OneByOne);
+        assert_eq!(
+            report,
+            ClusterReport {
+                makespan: 0.0,
+                avg_wait: 0.0,
+                utilization: 0.0,
+                placements: 0,
+            }
+        );
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_arrivals_keep_submission_order() {
+        let s = suite();
+        // Four jobs at the same instant on one GPU: OneByOne must serve
+        // them in submission order (the waiting queue is arrival-stable).
+        let jobs: Vec<ClusterJob> = ["stream", "kmeans", "pathfinder", "lud_A"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ClusterJob::new(i, n, 5.0, 1, &s))
+            .collect();
+        let (report, events) = ClusterSim::new(1).run_traced(&s, jobs, &mut OneByOne);
+        assert_eq!(report.placements, 4);
+        let started: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Start { job_ids, .. } => Some(job_ids[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, vec![0, 1, 2, 3]);
+        // All four arrivals were recorded at the shared instant, before
+        // any start.
+        assert!(events[..4]
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Arrival { .. }) && e.time == 5.0));
+    }
+
+    #[test]
+    fn traced_run_reports_exactly_what_run_reports() {
+        let s = suite();
+        let jobs = |arr: f64| {
+            vec![
+                ClusterJob::new(0, "stream", arr, 1, &s),
+                ClusterJob::new(1, "lavaMD", arr + 2.0, 1, &s),
+                ClusterJob::new(2, "kmeans", arr + 2.0, 1, &s),
+            ]
+        };
+        let plain = ClusterSim::new(2).run(&s, jobs(1.0), &mut OneByOne);
+        let (traced, events) = ClusterSim::new(2).run_traced(&s, jobs(1.0), &mut OneByOne);
+        assert_eq!(plain, traced);
+        // 3 arrivals + 3 starts + 3 finishes, seq strictly increasing.
+        assert_eq!(events.len(), 9);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.iter().all(|e| e.node == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn stranded_jobs_are_a_deadlock() {
+        let s = suite();
+        // A 4-GPU job on a 2-GPU pool can never start; OneByOne skips
+        // it, and the drain must flag the stranded queue rather than
+        // spin or exit silently.
+        let jobs = vec![ClusterJob::new(0, "lavaMD", 0.0, 4, &s)];
+        let _ = ClusterSim::new(2).run(&s, jobs, &mut OneByOne);
+    }
+
+    #[test]
+    fn node_run_defers_the_horizon_dispatch() {
+        let s = suite();
+        // stream solo = 10 s. Advance to the exact finish time of the
+        // first placement: the release happens, but the freed GPU must
+        // not be re-dispatched until the caller had a chance to push
+        // co-timed arrivals.
+        let mut node = NodeRun::new(0, 1, OneByOne);
+        node.push_arrival(ClusterJob::new(0, "stream", 0.0, 1, &s));
+        node.advance_until(&s, 5.0);
+        assert_eq!(node.load(&s, 5.0).free_gpus, 0, "stream still running");
+        node.push_arrival(ClusterJob::new(1, "kmeans", 5.0, 1, &s));
+        node.advance_until(&s, 10.0);
+        // The finish at t = 10 released the GPU, but the dispatch at
+        // t = 10 is deferred to the next call.
+        let load = node.load(&s, 10.0);
+        assert_eq!(load.free_gpus, 1);
+        assert_eq!(load.queued_jobs, 1);
+        node.push_arrival(ClusterJob::new(2, "pathfinder", 10.0, 1, &s));
+        node.advance_until(&s, f64::INFINITY);
+        let (stats, events, _) = node.finish();
+        assert_eq!(stats.completed, 3);
+        // kmeans (id 1, waiting since 5) starts before pathfinder.
+        let starts: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Start { job_ids, .. } => Some(job_ids[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node's past")]
+    fn past_arrivals_are_rejected() {
+        let s = suite();
+        let mut node = NodeRun::new(0, 1, OneByOne);
+        node.push_arrival(ClusterJob::new(0, "stream", 20.0, 1, &s));
+        node.advance_until(&s, f64::INFINITY);
+        node.push_arrival(ClusterJob::new(1, "stream", 5.0, 1, &s));
     }
 }

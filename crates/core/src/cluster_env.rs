@@ -1,0 +1,389 @@
+//! Cluster-level job placement: the [`NodeSelector`] contract and an
+//! [`Env`]-shaped placement environment for future RL node allocation.
+//!
+//! The paper's §VI sketch adds a *global* tier above the node-local
+//! MIG+MPS partitioning: a job first has to be assigned to a node, and
+//! only then does the node-local hierarchy decide how to run it. Liu et
+//! al.'s hierarchical cloud framework (see PAPERS.md) trains exactly
+//! that global tier with RL. This module keeps the two layers
+//! decoupled:
+//!
+//! * [`NodeSelector`] is the placement contract the multi-node cluster
+//!   simulator (`hrp-cluster::multinode`) feeds its global arrival
+//!   queue through. Heuristics (round-robin, least-loaded) live in
+//!   `hrp-cluster::select`; anything implementing the trait can drive
+//!   placement.
+//! * [`ClusterEnv`] phrases one placement episode (a list of jobs to
+//!   assign to `N` nodes) as an [`Env`], so the existing training
+//!   pipeline ([`crate::train::train_env`]) can learn a placement
+//!   policy with zero pipeline changes.
+//! * [`PolicySelector`] closes the loop: it encodes *live* node loads
+//!   with the same [`encode_placement_state`] the env uses and asks a
+//!   frozen [`SnapshotPolicy`] greedily — a learner trained on
+//!   [`ClusterEnv`] episodes becomes a drop-in [`NodeSelector`].
+//!
+//! The environment is deliberately a *stub* of the eventual global
+//! tier: its load model is synthetic (assigned work accumulates, no
+//! event clock), but its state/action/reward surface is the real one,
+//! and it honours the full [`Env`] contract.
+
+use crate::env::StepResult;
+use crate::rl::{Env, SnapshotPolicy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A snapshot of one node's load, as seen by a [`NodeSelector`] when a
+/// job arrives. Indexed by node id in the slice handed to
+/// [`NodeSelector::select`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLoad {
+    /// Node id (equal to the entry's index in the loads slice).
+    pub node: usize,
+    /// GPUs installed on the node.
+    pub total_gpus: usize,
+    /// GPUs currently idle.
+    pub free_gpus: usize,
+    /// Jobs waiting (or en route) on the node.
+    pub queued_jobs: usize,
+    /// Outstanding GPU-work estimate in seconds: remaining run time of
+    /// active placements plus the solo-time of everything queued.
+    pub outstanding: f64,
+}
+
+/// The global placement tier: picks the node for each arriving job.
+///
+/// Selectors are consulted in global arrival order with a load
+/// snapshot per node; the cluster simulator updates the snapshot after
+/// every assignment, so a burst of simultaneous arrivals spreads out
+/// rather than dog-piling the momentarily-least-loaded node. The
+/// contract is deterministic: the same arrival sequence and loads must
+/// yield the same node, which is what keeps the merged cluster
+/// timeline independent of simulation thread count.
+pub trait NodeSelector {
+    /// Human-readable name (CLI/report label).
+    fn name(&self) -> &'static str;
+
+    /// Choose a node for a job needing `gpus` GPUs and roughly `work`
+    /// seconds. `loads` has one entry per node, indexed by node id;
+    /// the returned id must be a valid index into it.
+    fn select(&mut self, gpus: usize, work: f64, loads: &[NodeLoad]) -> usize;
+}
+
+/// Encode a placement decision state: for every node, its normalised
+/// outstanding work and free-GPU share, then the arriving job's GPU
+/// share and normalised work. The layout (`2·N + 2` floats) is shared
+/// between [`ClusterEnv::state_into`] and [`PolicySelector`], so a
+/// policy trained on the env sees live loads in the same coordinates.
+pub fn encode_placement_state(loads: &[NodeLoad], gpus: usize, work: f64, out: &mut Vec<f32>) {
+    encode_parts(
+        loads
+            .iter()
+            .map(|l| (l.outstanding, l.free_gpus, l.total_gpus)),
+        gpus,
+        work,
+        out,
+    );
+}
+
+/// The shared encoding core over `(outstanding, free_gpus, total_gpus)`
+/// per-node triples — lets [`ClusterEnv::state_into`] encode straight
+/// from its load arrays on the per-step training hot path, without
+/// materialising [`NodeLoad`]s.
+fn encode_parts<I>(parts: I, gpus: usize, work: f64, out: &mut Vec<f32>)
+where
+    I: Iterator<Item = (f64, usize, usize)> + Clone,
+{
+    out.clear();
+    let scale = 1.0 + parts.clone().map(|(o, _, _)| o).fold(0.0, f64::max);
+    let mut total = 0usize;
+    for (outstanding, free, node_total) in parts {
+        out.push((outstanding / scale) as f32);
+        out.push(free as f32 / node_total.max(1) as f32);
+        total += node_total;
+    }
+    out.push(gpus as f32 / total.max(1) as f32);
+    out.push((work / scale) as f32);
+}
+
+/// One job of a placement episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementJob {
+    /// GPUs the job needs (must fit on a single node).
+    pub gpus: usize,
+    /// Solo-work estimate in seconds.
+    pub work: f64,
+}
+
+/// A placement episode as an [`Env`]: assign each of a list of jobs to
+/// one of `N` identical nodes.
+///
+/// * **State** — [`encode_placement_state`] over the synthetic loads
+///   (work assigned so far per node) and the job at hand; all-zero job
+///   features once drained.
+/// * **Action** — the node id (`N` actions, all valid while live).
+/// * **Reward** — load-balance shaping: `(min_load − chosen_load) /
+///   norm ≤ 0`, zero exactly when the choice is least-loaded. A richer
+///   reward (simulated makespan) can replace this without touching the
+///   interface.
+/// * **Decision** — the assignment vector, one node id per job.
+#[derive(Debug, Clone)]
+pub struct ClusterEnv {
+    gpus_per_node: usize,
+    jobs: Vec<PlacementJob>,
+    loads: Vec<f64>,
+    pos: usize,
+    assignment: Vec<usize>,
+    /// Reward normaliser: `1 +` mean job work.
+    norm: f64,
+}
+
+impl ClusterEnv {
+    /// A placement episode over `nodes` identical nodes of
+    /// `gpus_per_node` GPUs each.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is 0 or above 64 (action masks are `u64`), or
+    /// if any job cannot fit on a node.
+    #[must_use]
+    pub fn new(nodes: usize, gpus_per_node: usize, jobs: Vec<PlacementJob>) -> Self {
+        assert!((1..=64).contains(&nodes), "1..=64 nodes, got {nodes}");
+        assert!(gpus_per_node >= 1);
+        for (i, j) in jobs.iter().enumerate() {
+            assert!(
+                j.gpus >= 1 && j.gpus <= gpus_per_node,
+                "job {i} needs {} GPUs but nodes have {gpus_per_node}",
+                j.gpus
+            );
+        }
+        let norm = 1.0 + jobs.iter().map(|j| j.work).sum::<f64>() / jobs.len().max(1) as f64;
+        Self {
+            gpus_per_node,
+            jobs,
+            loads: vec![0.0; nodes],
+            pos: 0,
+            assignment: Vec::new(),
+            norm,
+        }
+    }
+
+    /// Number of nodes (= action-space size).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+impl Env for ClusterEnv {
+    type Decision = Vec<usize>;
+
+    fn state_dim(&self) -> usize {
+        2 * self.nodes() + 2
+    }
+
+    fn n_actions(&self) -> usize {
+        self.nodes()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.jobs.len()
+    }
+
+    fn state_into(&self, out: &mut Vec<f32>) {
+        let (gpus, work) = self
+            .jobs
+            .get(self.pos)
+            .map_or((0, 0.0), |j| (j.gpus, j.work));
+        // Free GPUs are static in the stub (the episode has no event
+        // clock), so encode straight from the load array.
+        encode_parts(
+            self.loads
+                .iter()
+                .map(|&o| (o, self.gpus_per_node, self.gpus_per_node)),
+            gpus,
+            work,
+            out,
+        );
+    }
+
+    fn valid_mask(&self) -> u64 {
+        if self.done() {
+            return 0;
+        }
+        // Every node can eventually host every job (fit is asserted at
+        // construction); placement never dead-ends.
+        if self.nodes() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.nodes()) - 1
+        }
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(!self.done(), "step on a drained placement episode");
+        assert!(action < self.nodes(), "node {action} out of range");
+        let job = self.jobs[self.pos].clone();
+        let before = self.loads[action];
+        let min = self.loads.iter().copied().fold(f64::INFINITY, f64::min);
+        let reward = (min - before) / self.norm;
+        self.loads[action] += job.work;
+        self.assignment.push(action);
+        self.pos += 1;
+        StepResult {
+            reward,
+            done: self.done(),
+            rf: 0.0,
+            ri_mean: reward,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.loads.iter_mut().for_each(|l| *l = 0.0);
+        self.pos = 0;
+        self.assignment.clear();
+    }
+
+    fn into_decision(self) -> Vec<usize> {
+        self.assignment
+    }
+}
+
+/// A [`NodeSelector`] driven by a frozen [`SnapshotPolicy`]: live node
+/// loads are encoded exactly as [`ClusterEnv`] encodes its synthetic
+/// ones, and the policy picks greedily (ε = 0, so the RNG is never
+/// actually consulted — placement stays deterministic).
+pub struct PolicySelector<P: SnapshotPolicy> {
+    policy: P,
+    rng: SmallRng,
+    scratch: Vec<f32>,
+}
+
+impl<P: SnapshotPolicy> PolicySelector<P> {
+    /// Wrap a frozen policy (e.g. a [`crate::rl::Learner`] snapshot
+    /// trained on [`ClusterEnv`] episodes).
+    #[must_use]
+    pub fn new(policy: P) -> Self {
+        Self {
+            policy,
+            rng: SmallRng::seed_from_u64(0),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<P: SnapshotPolicy> NodeSelector for PolicySelector<P> {
+    fn name(&self) -> &'static str {
+        "rl-policy"
+    }
+
+    fn select(&mut self, gpus: usize, work: f64, loads: &[NodeLoad]) -> usize {
+        let mask = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.total_gpus >= gpus)
+            .fold(0u64, |m, (i, _)| m | (1 << i));
+        assert!(mask != 0, "no node can host a {gpus}-GPU job");
+        encode_placement_state(loads, gpus, work, &mut self.scratch);
+        self.policy
+            .select_action(&self.scratch, mask, 0.0, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(works: &[f64]) -> Vec<PlacementJob> {
+        works
+            .iter()
+            .map(|&work| PlacementJob { gpus: 1, work })
+            .collect()
+    }
+
+    #[test]
+    fn env_contract_holds_over_an_episode() {
+        let mut env = ClusterEnv::new(3, 2, jobs(&[10.0, 20.0, 5.0, 8.0]));
+        let dim = env.state_dim();
+        assert_eq!(dim, 8);
+        assert_eq!(env.n_actions(), 3);
+        let mut state = Vec::new();
+        let mut steps = 0;
+        while !env.done() {
+            let mask = env.valid_mask();
+            assert_eq!(mask, 0b111, "all nodes stay valid");
+            env.state_into(&mut state);
+            assert_eq!(state.len(), dim);
+            env.step(steps % 3);
+            steps += 1;
+        }
+        env.state_into(&mut state);
+        assert_eq!(state.len(), dim, "terminal state keeps the dim");
+        assert_eq!(env.valid_mask(), 0);
+        assert_eq!(steps, 4);
+        assert_eq!(env.into_decision(), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_choices_pay_zero_shaping_penalty() {
+        let mut env = ClusterEnv::new(2, 1, jobs(&[10.0, 10.0, 10.0]));
+        assert_eq!(env.step(0).reward, 0.0, "empty cluster: any node is min");
+        assert_eq!(env.step(1).reward, 0.0, "node 1 is now the min");
+        let r = env.step(1); // node 1 has 10 s, node 0 has 10 s: tie, still min
+        assert_eq!(r.reward, 0.0);
+        let mut env = ClusterEnv::new(2, 1, jobs(&[10.0, 10.0]));
+        env.step(0);
+        let worse = env.step(0); // picks the loaded node over the idle one
+        assert!(
+            worse.reward < 0.0,
+            "imbalance is penalised: {}",
+            worse.reward
+        );
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut env = ClusterEnv::new(2, 2, jobs(&[3.0, 4.0]));
+        let mut before = Vec::new();
+        env.state_into(&mut before);
+        env.step(1);
+        env.step(1);
+        assert!(env.done());
+        env.reset();
+        assert!(!env.done());
+        let mut after = Vec::new();
+        env.state_into(&mut after);
+        assert_eq!(before, after);
+    }
+
+    /// A fixed policy: always the highest valid bit.
+    struct TopBit;
+    impl SnapshotPolicy for TopBit {
+        fn select_action(&self, _s: &[f32], mask: u64, _eps: f64, _rng: &mut SmallRng) -> usize {
+            (63 - mask.leading_zeros()) as usize
+        }
+    }
+
+    #[test]
+    fn policy_selector_respects_the_fit_mask() {
+        let mut sel = PolicySelector::new(TopBit);
+        let loads: Vec<NodeLoad> = (0..3)
+            .map(|node| NodeLoad {
+                node,
+                total_gpus: if node == 2 { 1 } else { 4 },
+                free_gpus: 1,
+                queued_jobs: 0,
+                outstanding: 0.0,
+            })
+            .collect();
+        // Node 2 cannot ever host a 2-GPU job, so the top *valid* bit
+        // is node 1.
+        assert_eq!(sel.select(2, 5.0, &loads), 1);
+        assert_eq!(sel.select(1, 5.0, &loads), 2);
+        assert_eq!(sel.name(), "rl-policy");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 4 GPUs")]
+    fn oversized_jobs_are_rejected_at_construction() {
+        let _ = ClusterEnv::new(2, 2, vec![PlacementJob { gpus: 4, work: 1.0 }]);
+    }
+}

@@ -32,6 +32,10 @@
 //! * [`mod@experiment`] — the fluent [`experiment::Experiment`] spec
 //!   unifying the config surface, with spec+weights checkpoints that
 //!   reload to identical greedy decisions;
+//! * [`mod@cluster_env`] — the cluster tier above all of this (§VI):
+//!   the [`cluster_env::NodeSelector`] placement contract the
+//!   multi-node simulator consults, and an [`rl::Env`]-shaped
+//!   placement environment for future RL node allocation;
 //! * [`par`] — the bounded scoped-parallelism primitive
 //!   ([`par::parallel_map`]) the rollout, evaluation, and cluster
 //!   window-drain fan-outs share;
@@ -49,6 +53,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod actions;
+pub mod cluster_env;
 pub mod env;
 pub mod exhaustive;
 pub mod experiment;
@@ -64,6 +69,7 @@ pub mod rl;
 pub mod train;
 
 pub use actions::ActionCatalog;
+pub use cluster_env::{ClusterEnv, NodeLoad, NodeSelector};
 pub use env::{CoScheduleEnv, CoScheduleEnvFactory, EnvConfig};
 pub use experiment::{CheckpointError, Experiment, TrainedExperiment};
 pub use hierarchy::{HierarchicalCatalog, HierarchicalEnv, HierarchicalEnvFactory};

@@ -26,8 +26,10 @@
 //!   offline training (a parallel rollout/learner pipeline with optional
 //!   overlapped rounds and sharded replay), the five compared policies,
 //!   and the metrics.
-//! * [`cluster`] — the §VI cluster-scale extension (FCFS+backfilling
-//!   comparator, queue-pressure policy selection).
+//! * [`cluster`] — the §VI cluster-scale extension: multi-node
+//!   simulation with deterministic event-stream merging, pluggable
+//!   node placement (round-robin / least-loaded / RL hook),
+//!   FCFS+backfilling comparator, queue-pressure policy selection.
 //!
 //! # Quickstart
 //!
