@@ -3,7 +3,9 @@
 //! ```text
 //! repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N]
 //!       [--env flat|hierarchical] [--nodes N]
-//!       [--selector round-robin|least-loaded] [--out DIR] <command>
+//!       [--selector round-robin|least-loaded|policy]
+//!       [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered]
+//!       [--out DIR] <command>
 //!
 //! commands:
 //!   table4    benchmark classification (Table IV)
@@ -36,21 +38,27 @@
 //! trains the paper's two-level MIG → MPS formulation instead of the
 //! flat 29-action catalog; evaluation tables then carry a flat-trained
 //! reference row alongside the hierarchical agent and the heuristics.
-//! `--nodes N` sizes the `cluster` command's simulated cluster and
-//! `--selector` picks its placement policy; with `--nodes 1` the
-//! multi-node path reproduces the single-node simulator bit-for-bit,
-//! and the merged timeline is identical for any `--threads` value.
+//! `--nodes N` sizes the `cluster` command's simulated cluster,
+//! `--trace` picks the evaluation trace kind (see
+//! `hrp_cluster::trace`), and `--selector` its placement policy —
+//! `--selector policy` first trains an RL placement agent on
+//! same-kind traces (reward = the realized simulation, see
+//! `hrp_cluster::place`) and reports it beside the round-robin and
+//! least-loaded rows. With `--nodes 1` the multi-node path reproduces
+//! the single-node simulator bit-for-bit, and the merged timeline —
+//! and the trained policy — are identical for any `--threads` value.
 //!
 //! Malformed invocations (unknown flags or commands, missing or
-//! unparsable values, `--shards 0`, `--nodes 0`, `--env`/`--selector`
-//! typos) exit with status 2 and a usage message rather than panicking
-//! or silently defaulting.
+//! unparsable values, `--shards 0`, `--nodes 0`,
+//! `--env`/`--selector`/`--trace` typos) exit with status 2 and a
+//! usage message rather than panicking or silently defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
 };
 use hrp_bench::obs::{fig3_mps_sweep, fig4_bandwidth, fig5_variants, FIG5_MIX};
 use hrp_bench::report::{f3, Table};
+use hrp_cluster::trace::TraceKind;
 use hrp_cluster::SelectorKind;
 use hrp_core::actions::{mig_mps_space, mps_only_space, training_search_space};
 use hrp_core::metrics::arithmetic_mean;
@@ -79,6 +87,8 @@ struct Options {
     nodes: usize,
     /// Placement policy for the `cluster` command.
     selector: SelectorKind,
+    /// Trace kind for the `cluster` command.
+    trace: TraceKind,
 }
 
 impl Options {
@@ -109,7 +119,8 @@ impl Options {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
-[--env flat|hierarchical] [--nodes N] [--selector round-robin|least-loaded] \
+[--env flat|hierarchical] [--nodes N] [--selector round-robin|least-loaded|policy] \
+[--trace uniform|bursty|skewed|heavy-tail|colocate|staggered] \
 [--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
           overhead oracle cluster ablate-reward ablate-agent ablate-interference all";
@@ -148,6 +159,7 @@ fn main() {
         env: EnvKind::Flat,
         nodes: 1,
         selector: SelectorKind::RoundRobin,
+        trace: TraceKind::Staggered,
     };
     let mut cmd: Option<&str> = None;
     let mut it = args.iter();
@@ -189,7 +201,17 @@ fn main() {
                 let raw = flag_value(&mut it, "--selector");
                 opts.selector = SelectorKind::parse(raw).unwrap_or_else(|bad| {
                     fail(&format!(
-                        "unknown --selector value '{bad}' (expected 'round-robin' or 'least-loaded')"
+                        "unknown --selector value '{bad}' \
+                         (expected 'round-robin', 'least-loaded', or 'policy')"
+                    ))
+                });
+            }
+            "--trace" => {
+                let raw = flag_value(&mut it, "--trace");
+                opts.trace = TraceKind::parse(raw).unwrap_or_else(|bad| {
+                    fail(&format!(
+                        "unknown --trace value '{bad}' (expected 'uniform', 'bursty', \
+                         'skewed', 'heavy-tail', 'colocate', or 'staggered')"
                     ))
                 });
             }
@@ -542,17 +564,49 @@ fn oracle_cmd(suite: &Suite, opts: &Options) {
 }
 
 fn cluster_cmd(suite: &Suite, opts: &Options) {
-    use hrp_bench::cluster::cluster_compare;
+    use hrp_bench::cluster::{evaluation_trace, placement_comparison, ComparisonOptions};
     let n_jobs = if opts.quick { 48 } else { 144 };
-    let cmp = cluster_compare(suite, n_jobs, opts.nodes, opts.selector, opts.threads);
+    let jobs = evaluation_trace(suite, opts.trace, n_jobs, opts.seed);
+    // A policy run always shows the heuristics it is measured against;
+    // a heuristic run shows just the requested row.
+    let kinds: Vec<SelectorKind> = if opts.selector == SelectorKind::Policy {
+        vec![
+            SelectorKind::RoundRobin,
+            SelectorKind::LeastLoaded,
+            SelectorKind::Policy,
+        ]
+    } else {
+        vec![opts.selector]
+    };
+    let cmp = placement_comparison(
+        suite,
+        &kinds,
+        opts.trace,
+        &jobs,
+        ComparisonOptions {
+            nodes: opts.nodes,
+            seed: opts.seed,
+            quick: opts.quick,
+            threads: opts.threads,
+        },
+    );
     println!(
-        "# cluster: {} node(s) x {} GPUs, selector {}, {} jobs",
+        "# cluster: {} node(s) x {} GPUs, selector {}, trace {}, {} jobs",
         opts.nodes,
         hrp_bench::cluster::GPUS_PER_NODE,
         opts.selector.name(),
+        opts.trace.name(),
         n_jobs
     );
-    println!("# timeline digest: {:016x}", cmp.report.timeline.digest());
+    if let Some((agent, report)) = &cmp.training {
+        println!(
+            "# policy training: {} episodes over {} {} traces, late return {:.3}",
+            agent.config().episodes,
+            agent.config().n_traces,
+            agent.config().trace.kind.name(),
+            report.late_return
+        );
+    }
     let mut t = Table::new(&[
         "row",
         "jobs",
@@ -562,8 +616,11 @@ fn cluster_cmd(suite: &Suite, opts: &Options) {
         "avg_wait",
         "throughput",
         "speedup_vs_1node",
+        "digest",
     ]);
-    for n in &cmp.report.per_node {
+    // Per-node rows for the *requested* selector's run (the last row).
+    let focus = cmp.rows.last().expect("at least one selector");
+    for n in &focus.report.per_node {
         t.row(vec![
             format!("node{}", n.node),
             n.jobs.to_string(),
@@ -573,28 +630,34 @@ fn cluster_cmd(suite: &Suite, opts: &Options) {
             f3(n.avg_wait),
             f3(n.throughput()),
             "-".into(),
+            "-".into(),
         ]);
     }
-    let agg = &cmp.report.aggregate;
-    t.row(vec![
-        "aggregate".into(),
-        cmp.report.completed_jobs().to_string(),
-        agg.placements.to_string(),
-        f3(agg.makespan),
-        f3(agg.utilization),
-        f3(agg.avg_wait),
-        f3(cmp.report.throughput()),
-        f3(cmp.speedup()),
-    ]);
+    for row in &cmp.rows {
+        let agg = &row.report.aggregate;
+        t.row(vec![
+            row.selector.clone(),
+            row.report.completed_jobs().to_string(),
+            agg.placements.to_string(),
+            f3(agg.makespan),
+            f3(agg.utilization),
+            f3(agg.avg_wait),
+            f3(row.report.throughput()),
+            f3(row.speedup()),
+            format!("{:016x}", row.report.timeline.digest()),
+        ]);
+    }
+    let baseline = &focus.baseline;
     t.row(vec![
         "single-node baseline".into(),
         n_jobs.to_string(),
-        cmp.baseline.placements.to_string(),
-        f3(cmp.baseline.makespan),
-        f3(cmp.baseline.utilization),
-        f3(cmp.baseline.avg_wait),
-        f3(n_jobs as f64 / cmp.baseline.makespan),
+        baseline.placements.to_string(),
+        f3(baseline.makespan),
+        f3(baseline.utilization),
+        f3(baseline.avg_wait),
+        f3(n_jobs as f64 / baseline.makespan),
         f3(1.0),
+        "-".into(),
     ]);
     t.emit("cluster_scaling", opts.out.as_deref());
 }

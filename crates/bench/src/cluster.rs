@@ -1,18 +1,30 @@
 //! Multi-node placement comparison backing `repro cluster`.
 //!
-//! One deterministic staggered trace is run through an `N`-node
-//! [`MultiNodeSim`] under the chosen [`SelectorKind`], and through the
-//! original single-node [`ClusterSim`] as the baseline every placement
-//! policy is compared against. Each node runs the co-scheduling
-//! dispatcher with the evaluation defaults (`W = 4` windows,
-//! `Cmax = 4`, the MPS-only node policy — no training required, so the
-//! command is cheap). With `nodes = 1` the multi-node path reproduces
-//! the baseline bit-for-bit (see `tests/multinode_contract.rs`).
+//! One deterministic trace (any [`TraceKind`] from the generator
+//! suite) is run through an `N`-node [`MultiNodeSim`] under one or
+//! more placement selectors, and through the original single-node
+//! [`ClusterSim`] as the baseline every placement policy is compared
+//! against. Each node runs the co-scheduling dispatcher with the
+//! evaluation defaults (`W = 4` windows, `Cmax = 4`, the MPS-only node
+//! policy — no node-level training required). With `nodes = 1` the
+//! multi-node path reproduces the baseline bit-for-bit (see
+//! `tests/multinode_contract.rs`).
+//!
+//! The trained-policy row ([`SelectorKind::Policy`]) trains a
+//! placement agent through `hrp_cluster::place::train_placement` on
+//! traces of the *same kind* as the evaluated one (different derived
+//! seeds — the evaluation trace is held out for every seeded kind;
+//! the seed-independent `staggered` demo trace is the documented
+//! exception) and deploys the frozen snapshot as a
+//! [`hrp_core::cluster_env::PolicySelector`].
 
-use hrp_cluster::multinode::{staggered_trace, MultiNodeReport, MultiNodeSim};
+use hrp_cluster::multinode::{MultiNodeReport, MultiNodeSim};
+use hrp_cluster::place::{train_placement, PlacementAgent, PlacementConfig};
 use hrp_cluster::sim::ClusterSim;
-use hrp_cluster::{ClusterReport, CoSchedulingDispatcher, SelectorKind};
+use hrp_cluster::trace::{generate, TraceConfig, TraceKind, EVAL_SEED_OFFSET};
+use hrp_cluster::{ClusterJob, ClusterReport, CoSchedulingDispatcher, SelectorKind};
 use hrp_core::policies::MpsOnly;
+use hrp_core::train::TrainReport;
 use hrp_workloads::Suite;
 
 /// Window size of each node's co-scheduling dispatcher.
@@ -28,9 +40,56 @@ pub fn node_dispatcher() -> CoSchedulingDispatcher<MpsOnly> {
     CoSchedulingDispatcher::new(MpsOnly, CLUSTER_W, CLUSTER_CMAX)
 }
 
+/// The evaluation trace for `repro cluster`: `n_jobs` jobs of the
+/// given kind at the evaluation GPU bound. The seed is offset from the
+/// training-trace stream, so for the seeded kinds a trained policy
+/// never evaluates on a trace it trained on. The exception is
+/// [`TraceKind::Staggered`], which is seed-independent by design (one
+/// fixed demo schedule per job count) — a policy row on the staggered
+/// trace reports train-set performance.
+#[must_use]
+pub fn evaluation_trace(
+    suite: &Suite,
+    kind: TraceKind,
+    n_jobs: usize,
+    seed: u64,
+) -> Vec<ClusterJob> {
+    generate(
+        suite,
+        &TraceConfig::new(kind, n_jobs, seed ^ EVAL_SEED_OFFSET).max_gpus(GPUS_PER_NODE),
+    )
+}
+
+/// The placement-training configuration `repro cluster --selector
+/// policy` uses: training traces of the evaluated kind, sized by
+/// `--quick`.
+#[must_use]
+pub fn policy_train_config(
+    kind: TraceKind,
+    nodes: usize,
+    seed: u64,
+    quick: bool,
+) -> PlacementConfig {
+    let mut cfg = if quick {
+        PlacementConfig::quick()
+    } else {
+        PlacementConfig::default_cfg()
+    };
+    cfg.nodes = nodes;
+    cfg.gpus_per_node = GPUS_PER_NODE;
+    cfg.node_w = CLUSTER_W;
+    cfg.node_cmax = CLUSTER_CMAX;
+    cfg.trace.kind = kind;
+    cfg.trace.seed = seed;
+    cfg.seed = seed;
+    cfg
+}
+
 /// An `N`-node run next to its single-node baseline.
 #[derive(Debug)]
 pub struct ClusterComparison {
+    /// Selector label of the run.
+    pub selector: String,
     /// The multi-node run.
     pub report: MultiNodeReport,
     /// The same trace through the single-node simulator.
@@ -49,26 +108,127 @@ impl ClusterComparison {
     }
 }
 
-/// Run the staggered `n_jobs` trace on `nodes` nodes under `selector`,
-/// and on the single-node baseline. `threads` caps the per-epoch node
-/// fan-out (`0` = available parallelism); results are identical for
-/// any value.
+/// The single-node reference schedule every placement policy is
+/// compared against (deterministic; compute it once per trace).
+#[must_use]
+pub fn single_node_baseline(suite: &Suite, jobs: &[ClusterJob]) -> ClusterReport {
+    let mut base = node_dispatcher();
+    ClusterSim::new(GPUS_PER_NODE).run(suite, jobs.to_vec(), &mut base)
+}
+
+/// One comparison row: `jobs` on `nodes` nodes under `selector`, next
+/// to a precomputed single-node `baseline`. `threads` caps the
+/// per-epoch node fan-out (`0` = available parallelism, served by a
+/// persistent worker pool); results are identical for any value.
+#[must_use]
+pub fn compare_row(
+    suite: &Suite,
+    jobs: &[ClusterJob],
+    nodes: usize,
+    selector: &mut dyn hrp_cluster::NodeSelector,
+    threads: usize,
+    baseline: ClusterReport,
+) -> ClusterComparison {
+    let report = MultiNodeSim::new(nodes, GPUS_PER_NODE)
+        .with_threads(threads)
+        .run(suite, jobs.to_vec(), selector, |_| node_dispatcher());
+    ClusterComparison {
+        selector: selector.name().to_owned(),
+        report,
+        baseline,
+    }
+}
+
+/// [`compare_row`] with the baseline computed on the spot (one-row
+/// callers).
 #[must_use]
 pub fn cluster_compare(
     suite: &Suite,
-    n_jobs: usize,
+    jobs: &[ClusterJob],
     nodes: usize,
-    selector: SelectorKind,
+    selector: &mut dyn hrp_cluster::NodeSelector,
     threads: usize,
 ) -> ClusterComparison {
-    let jobs = staggered_trace(suite, n_jobs);
-    let mut sel = selector.build();
-    let report = MultiNodeSim::new(nodes, GPUS_PER_NODE)
-        .with_threads(threads)
-        .run(suite, jobs.clone(), sel.as_mut(), |_| node_dispatcher());
-    let mut base = node_dispatcher();
-    let baseline = ClusterSim::new(GPUS_PER_NODE).run(suite, jobs, &mut base);
-    ClusterComparison { report, baseline }
+    let baseline = single_node_baseline(suite, jobs);
+    compare_row(suite, jobs, nodes, selector, threads, baseline)
+}
+
+/// The full placement comparison behind `repro cluster`: the evaluated
+/// trace run under every requested selector, plus (for
+/// [`SelectorKind::Policy`]) the training run that produced the
+/// deployed agent.
+pub struct PlacementComparison {
+    /// One row per selector, in request order.
+    pub rows: Vec<ClusterComparison>,
+    /// The placement-training report (present iff a policy row was
+    /// requested).
+    pub training: Option<(PlacementAgent, TrainReport)>,
+}
+
+/// Sizing/seeding knobs of a [`placement_comparison`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonOptions {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Master seed (trace generation + policy training).
+    pub seed: u64,
+    /// Use the quick training configuration for policy rows.
+    pub quick: bool,
+    /// Epoch fan-out / rollout worker cap (`0` = auto; results are
+    /// identical for any value).
+    pub threads: usize,
+}
+
+/// Run `jobs` under each selector in `kinds` (training a placement
+/// agent for [`SelectorKind::Policy`] rows on same-kind traces) and
+/// collect the comparison rows.
+#[must_use]
+pub fn placement_comparison(
+    suite: &Suite,
+    kinds: &[SelectorKind],
+    trace_kind: TraceKind,
+    jobs: &[ClusterJob],
+    opts: ComparisonOptions,
+) -> PlacementComparison {
+    let mut training = None;
+    // The single-node reference is selector-independent: one run
+    // serves every row.
+    let baseline = single_node_baseline(suite, jobs);
+    let rows = kinds
+        .iter()
+        .map(|kind| {
+            if kind.needs_training() {
+                let (agent, _) = training.get_or_insert_with(|| {
+                    let mut cfg =
+                        policy_train_config(trace_kind, opts.nodes, opts.seed, opts.quick);
+                    // Worker count is an execution detail: results are
+                    // bit-identical for any value (pipeline guarantee).
+                    cfg.n_workers = opts.threads;
+                    train_placement(suite, cfg)
+                });
+                let mut sel = agent.selector();
+                compare_row(
+                    suite,
+                    jobs,
+                    opts.nodes,
+                    &mut sel,
+                    opts.threads,
+                    baseline.clone(),
+                )
+            } else {
+                let mut sel = kind.build();
+                compare_row(
+                    suite,
+                    jobs,
+                    opts.nodes,
+                    sel.as_mut(),
+                    opts.threads,
+                    baseline.clone(),
+                )
+            }
+        })
+        .collect();
+    PlacementComparison { rows, training }
 }
 
 #[cfg(test)]
@@ -79,24 +239,42 @@ mod tests {
     #[test]
     fn one_node_comparison_is_the_baseline_itself() {
         let suite = Suite::paper_suite(&GpuArch::a100());
-        let cmp = cluster_compare(&suite, 16, 1, SelectorKind::RoundRobin, 1);
+        let jobs = evaluation_trace(&suite, TraceKind::Staggered, 16, 42);
+        let mut sel = SelectorKind::RoundRobin.build();
+        let cmp = cluster_compare(&suite, &jobs, 1, sel.as_mut(), 1);
         assert_eq!(cmp.report.aggregate, cmp.baseline);
         assert!((cmp.speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(cmp.selector, "round-robin");
     }
 
     #[test]
     fn four_nodes_beat_the_single_node_baseline() {
         let suite = Suite::paper_suite(&GpuArch::a100());
-        for selector in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
-            let cmp = cluster_compare(&suite, 24, 4, selector, 0);
+        for kind in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
+            let jobs = evaluation_trace(&suite, TraceKind::Staggered, 24, 42);
+            let mut sel = kind.build();
+            let cmp = cluster_compare(&suite, &jobs, 4, sel.as_mut(), 0);
             assert!(
                 cmp.speedup() > 1.0,
                 "{}: 4 nodes should beat 1 ({} vs {})",
-                selector.name(),
+                kind.name(),
                 cmp.report.aggregate.makespan,
                 cmp.baseline.makespan
             );
             assert_eq!(cmp.report.completed_jobs(), 24);
+        }
+    }
+
+    #[test]
+    fn evaluation_trace_is_disjoint_from_the_training_stream() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let eval = evaluation_trace(&suite, TraceKind::Skewed, 32, 42);
+        let cfg = policy_train_config(TraceKind::Skewed, 4, 42, true);
+        for (i, train) in hrp_cluster::place::training_traces(&suite, &cfg)
+            .iter()
+            .enumerate()
+        {
+            assert_ne!(&eval, train, "training trace {i} equals the eval trace");
         }
     }
 }

@@ -15,8 +15,20 @@
 //! * [`multinode`] — `N` nodes simulated concurrently, fed from a
 //!   global arrival queue by a pluggable node selector, their event
 //!   streams merged into one deterministic `(time, node, seq)`-ordered
-//!   cluster timeline — bit-identical for any thread count, and
-//!   event-for-event identical to [`ClusterSim`] when `N = 1`;
+//!   cluster timeline — bit-identical for any thread count (the epoch
+//!   fan-out runs on a persistent [`hrp_core::par::WorkerPool`]), and
+//!   event-for-event identical to [`ClusterSim`] when `N = 1`. The
+//!   stepped [`multinode::ClusterDrive`] core is shared with the RL
+//!   placement environment;
+//! * [`trace`] — deterministic cluster-trace generators (uniform,
+//!   bursty, Zipf-skewed popularity, heavy-tail duration, multi-GPU
+//!   co-location): the scenario-diversity axis of the placement
+//!   evaluation;
+//! * [`place`] — RL-trained node placement: the simulation-backed
+//!   [`place::ClusterEnv`] (per-decision queue-delay deltas, terminal
+//!   makespan bonus), [`place::train_placement`] through the generic
+//!   `hrp-core` pipeline, and `HRPP` checkpoints
+//!   ([`place::PlacementExperiment`]);
 //! * [`fcfs`] — First-Come-First-Serve with conservative backfilling
 //!   (the comparator the paper names);
 //! * [`cosched`] — the co-scheduling dispatcher: single-GPU jobs are
@@ -39,12 +51,18 @@ pub mod cosched;
 pub mod fcfs;
 pub mod job;
 pub mod multinode;
+pub mod place;
 pub mod select;
 pub mod sim;
+pub mod trace;
 
 pub use cosched::CoSchedulingDispatcher;
 pub use fcfs::FcfsBackfill;
 pub use job::ClusterJob;
-pub use multinode::{ClusterTimeline, MultiNodeReport, MultiNodeSim, NodeSummary};
+pub use multinode::{ClusterDrive, ClusterTimeline, MultiNodeReport, MultiNodeSim, NodeSummary};
+pub use place::{
+    train_placement, ClusterEnv, PlacementAgent, PlacementConfig, PlacementExperiment,
+};
 pub use select::{select_policy, NodeSelector, PressurePolicy, SelectorKind};
 pub use sim::{ClusterReport, ClusterSim, NodeEvent};
+pub use trace::{TraceConfig, TraceKind};

@@ -8,11 +8,17 @@
 //!
 //! # Epochs and the merge barrier
 //!
-//! The global trace is processed arrival-instant by arrival-instant:
+//! The global trace is processed arrival-instant by arrival-instant by
+//! the stepped [`ClusterDrive`] core (also driven action-by-action by
+//! the RL placement environment in [`crate::place`]):
 //!
 //! 1. **Advance** — every node simulates concurrently up to the next
-//!    arrival time `t` via [`hrp_core::par::parallel_map`] (nodes are
-//!    independent between arrivals, so this is safe fan-out);
+//!    arrival time `t` (nodes are independent between arrivals, so
+//!    this is safe fan-out). With `threads > 1` the fan-out runs on a
+//!    persistent [`hrp_core::par::WorkerPool`] spanning the whole run,
+//!    so bursty traces pay thread creation once instead of once per
+//!    arrival instant (the legacy per-epoch scoped spawn survives as
+//!    [`DriveFanout::SpawnPerEpoch`] for benchmarking);
 //! 2. **Barrier + select** — with all nodes parked at `t`, their load
 //!    snapshots are taken and the selector assigns the instant's jobs
 //!    one by one, each assignment updating the snapshot it hands the
@@ -52,10 +58,10 @@
 
 use crate::job::ClusterJob;
 use crate::sim::{ClusterReport, Dispatcher, EventKind, NodeEvent, NodeRun, NodeStats};
-use hrp_core::cluster_env::NodeSelector;
-use hrp_core::par::parallel_map;
+use hrp_core::cluster_env::{NodeLoad, NodeSelector};
+use hrp_core::par::{parallel_map, resolve_threads, WorkerPool};
 use hrp_workloads::Suite;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The merged, `(time, node, seq)`-ordered cluster event stream.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -200,116 +206,177 @@ impl MultiNodeReport {
     }
 }
 
-/// A cluster of `nodes` identical nodes with `gpus_per_node` GPUs each.
-#[derive(Debug)]
-pub struct MultiNodeSim {
-    nodes: usize,
-    gpus_per_node: usize,
-    threads: usize,
+/// How [`ClusterDrive`] fans node simulation out per epoch.
+///
+/// Every mode produces the bit-identical timeline; only wall-clock
+/// changes. [`DriveFanout::Pooled`] amortises thread creation across
+/// the run's epochs (bursty traces have one epoch per arrival
+/// instant); [`DriveFanout::SpawnPerEpoch`] is the legacy
+/// scoped-spawn path, kept selectable so `cluster_perf` can measure
+/// exactly what the pool buys.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum DriveFanout<'p> {
+    /// Advance nodes on the calling thread (the default, and what the
+    /// placement-training environment uses inside rollout workers).
+    #[default]
+    Serial,
+    /// Advance nodes on a persistent [`WorkerPool`].
+    Pooled(&'p WorkerPool),
+    /// Spawn a fresh `parallel_map` scope of up to this many threads
+    /// per epoch (legacy behaviour; for benchmarking the difference).
+    SpawnPerEpoch(usize),
 }
 
-impl MultiNodeSim {
-    /// New cluster. `nodes` is capped at 64 (selector masks are `u64`).
-    #[must_use]
-    pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+/// A resumable multi-node simulation, stepped placement by placement —
+/// the shared core under [`MultiNodeSim::run`] (which drives it from a
+/// [`NodeSelector`]) and the RL placement environment in
+/// [`crate::place`] (which drives it action by action, so training
+/// rewards come from exactly the simulation the evaluation runs).
+///
+/// The cycle per arrival instant `t`:
+///
+/// 1. [`ClusterDrive::advance_to`]`(t)` — every node simulates up to
+///    `t` (fanned out per [`DriveFanout`]), then the per-node
+///    [`NodeLoad`] snapshots are refreshed;
+/// 2. one [`ClusterDrive::place`] per job of the instant — each
+///    placement updates the snapshot the next decision sees, so a
+///    burst spreads out instead of dog-piling one node;
+/// 3. after the last instant, [`ClusterDrive::finish`] drains every
+///    node and merges the event streams into the deterministic
+///    `(time, node, seq)`-ordered [`ClusterTimeline`].
+pub struct ClusterDrive<'a, D: Dispatcher + Send> {
+    suite: &'a Suite,
+    gpus_per_node: usize,
+    fanout: DriveFanout<'a>,
+    slots: Vec<Mutex<NodeRun<D>>>,
+    loads: Vec<NodeLoad>,
+    placed: usize,
+}
+
+impl<'a, D: Dispatcher + Send> ClusterDrive<'a, D> {
+    /// A fresh cluster of `nodes` nodes at time 0, with load snapshots
+    /// taken (all idle). `nodes` is capped at 64 (selector masks are
+    /// `u64`).
+    pub fn new<F: FnMut(usize) -> D>(
+        suite: &'a Suite,
+        nodes: usize,
+        gpus_per_node: usize,
+        mut make_dispatcher: F,
+    ) -> Self {
         assert!((1..=64).contains(&nodes), "1..=64 nodes, got {nodes}");
         assert!(gpus_per_node >= 1);
+        let slots: Vec<Mutex<NodeRun<D>>> = (0..nodes)
+            .map(|i| Mutex::new(NodeRun::new(i, gpus_per_node, make_dispatcher(i))))
+            .collect();
+        let loads = slots
+            .iter()
+            .map(|s| s.lock().expect("node lock").load(suite, 0.0))
+            .collect();
         Self {
-            nodes,
+            suite,
             gpus_per_node,
-            threads: 1,
+            fanout: DriveFanout::Serial,
+            slots,
+            loads,
+            placed: 0,
         }
     }
 
-    /// Simulate nodes with up to `threads` worker threads per epoch
-    /// (`0` = available parallelism). The merged timeline is identical
-    /// for any value; only wall-clock changes.
+    /// Select the epoch fan-out mode (timeline-invariant).
     #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+    pub fn with_fanout(mut self, fanout: DriveFanout<'a>) -> Self {
+        self.fanout = fanout;
         self
     }
 
-    /// Run a global job trace through the cluster: `selector` routes
-    /// each arrival to a node, `make_dispatcher(node)` builds the
-    /// node-local dispatcher.
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// GPUs per node.
+    #[must_use]
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// The current per-node load snapshots (refreshed by
+    /// [`ClusterDrive::advance_to`], updated incrementally by
+    /// [`ClusterDrive::place`]) — exactly what a [`NodeSelector`] is
+    /// consulted with.
+    #[must_use]
+    pub fn loads(&self) -> &[NodeLoad] {
+        &self.loads
+    }
+
+    fn advance_nodes(&self, horizon: f64) {
+        let run_one = |i: usize| {
+            self.slots[i]
+                .lock()
+                .expect("node lock")
+                .advance_until(self.suite, horizon);
+        };
+        match self.fanout {
+            DriveFanout::Serial => (0..self.slots.len()).for_each(run_one),
+            DriveFanout::Pooled(pool) => {
+                pool.map(self.slots.len(), run_one);
+            }
+            DriveFanout::SpawnPerEpoch(threads) => {
+                parallel_map(self.slots.len(), threads, run_one);
+            }
+        }
+    }
+
+    /// Advance every node to the arrival instant `t` and refresh the
+    /// load snapshots — the epoch barrier.
+    pub fn advance_to(&mut self, t: f64) {
+        self.advance_nodes(t);
+        for (i, slot) in self.slots.iter().enumerate() {
+            self.loads[i] = slot.lock().expect("node lock").load(self.suite, t);
+        }
+    }
+
+    /// Route `job` to `node`: the snapshot is updated incrementally (so
+    /// the next decision of the same burst sees this assignment) and
+    /// the job joins the node's arrival queue.
     ///
     /// # Panics
-    /// Panics if a job requests more GPUs than a node has, if the
-    /// selector returns an out-of-range node, or if a node's dispatcher
-    /// strands jobs (the per-node deadlock check).
-    pub fn run<D, F>(
-        &self,
-        suite: &Suite,
-        mut jobs: Vec<ClusterJob>,
-        selector: &mut dyn NodeSelector,
-        mut make_dispatcher: F,
-    ) -> MultiNodeReport
-    where
-        D: Dispatcher + Send,
-        F: FnMut(usize) -> D,
-    {
-        for j in &jobs {
-            assert!(
-                j.gpus <= self.gpus_per_node,
-                "job {} needs {} GPUs but nodes have {}",
-                j.id,
-                j.gpus,
-                self.gpus_per_node
-            );
-        }
-        // Stable by arrival: simultaneous submissions keep their order,
-        // exactly like the single-node simulator.
-        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
-        let total_jobs = jobs.len();
+    /// Panics if `node` is out of range or the job cannot fit on a
+    /// node.
+    pub fn place(&mut self, node: usize, job: ClusterJob) {
+        assert!(node < self.nodes(), "node {node} of {}", self.nodes());
+        assert!(
+            job.gpus <= self.gpus_per_node,
+            "job {} needs {} GPUs but nodes have {}",
+            job.id,
+            job.gpus,
+            self.gpus_per_node
+        );
+        self.loads[node].outstanding += job.solo_time(self.suite);
+        self.loads[node].queued_jobs += 1;
+        self.placed += 1;
+        self.slots[node]
+            .lock()
+            .expect("node lock")
+            .push_arrival(job);
+    }
 
-        let slots: Vec<Mutex<NodeRun<D>>> = (0..self.nodes)
-            .map(|i| Mutex::new(NodeRun::new(i, self.gpus_per_node, make_dispatcher(i))))
-            .collect();
-        let advance_all = |horizon: f64| {
-            parallel_map(self.nodes, self.threads, |i| {
-                slots[i]
-                    .lock()
-                    .expect("node lock")
-                    .advance_until(suite, horizon);
-            });
-        };
-
-        let mut queue = jobs.into_iter().peekable();
-        while let Some(first) = queue.next() {
-            let t = first.arrival;
-            let mut burst = vec![first];
-            while queue
-                .peek()
-                .is_some_and(|j| j.arrival.total_cmp(&t).is_eq())
-            {
-                burst.push(queue.next().expect("peeked"));
-            }
-            // Epoch: advance every node to this arrival instant, then
-            // place the instant's jobs against the barrier snapshots.
-            advance_all(t);
-            let mut loads: Vec<_> = slots
-                .iter()
-                .map(|s| s.lock().expect("node lock").load(suite, t))
-                .collect();
-            for job in burst {
-                let work = job.solo_time(suite);
-                let node = selector.select(job.gpus, work, &loads);
-                assert!(
-                    node < self.nodes,
-                    "selector picked node {node} of {}",
-                    self.nodes
-                );
-                loads[node].outstanding += work;
-                loads[node].queued_jobs += 1;
-                slots[node].lock().expect("node lock").push_arrival(job);
-            }
-        }
-        advance_all(f64::INFINITY);
-
-        let mut stats: Vec<NodeStats> = Vec::with_capacity(self.nodes);
+    /// Drain every node to the end of time, merge the per-node event
+    /// streams under the `(time, node, seq)` key, and assemble the
+    /// report. The drive is spent afterwards.
+    ///
+    /// # Panics
+    /// Panics if called twice, or if a node's dispatcher strands jobs
+    /// (the per-node deadlock check).
+    pub fn finish(&mut self) -> MultiNodeReport {
+        assert!(!self.slots.is_empty(), "drive already finished");
+        self.advance_nodes(f64::INFINITY);
+        let total_jobs = self.placed;
+        let nodes = self.slots.len();
+        let mut stats: Vec<NodeStats> = Vec::with_capacity(nodes);
         let mut events: Vec<NodeEvent> = Vec::new();
-        for slot in slots {
+        for slot in std::mem::take(&mut self.slots) {
             let (s, e, _) = slot.into_inner().expect("node lock").finish();
             stats.push(s);
             events.extend(e);
@@ -329,7 +396,7 @@ impl MultiNodeSim {
         let makespan = stats.iter().map(|s| s.makespan).fold(0.0, f64::max);
         let wait_sum: f64 = stats.iter().map(|s| s.wait_sum).sum();
         let busy: f64 = stats.iter().map(|s| s.busy_gpu_seconds).sum();
-        let total_gpus = self.nodes * self.gpus_per_node;
+        let total_gpus = nodes * self.gpus_per_node;
         let aggregate = ClusterReport {
             makespan,
             avg_wait: if total_jobs > 0 {
@@ -368,6 +435,147 @@ impl MultiNodeSim {
             aggregate,
             timeline: ClusterTimeline { events },
         }
+    }
+}
+
+/// Group a sorted trace into `(instant, burst)` pairs of co-timed
+/// arrivals (the epoch structure both the simulator and the placement
+/// environment walk).
+pub(crate) fn burst_bounds(jobs: &[ClusterJob]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut start = 0;
+    while start < jobs.len() {
+        let t = jobs[start].arrival;
+        let mut end = start + 1;
+        while end < jobs.len() && jobs[end].arrival.total_cmp(&t).is_eq() {
+            end += 1;
+        }
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+/// A cluster of `nodes` identical nodes with `gpus_per_node` GPUs each.
+#[derive(Debug)]
+pub struct MultiNodeSim {
+    nodes: usize,
+    gpus_per_node: usize,
+    threads: usize,
+    pool: Option<Arc<WorkerPool>>,
+    epoch_spawn: bool,
+}
+
+impl MultiNodeSim {
+    /// New cluster. `nodes` is capped at 64 (selector masks are `u64`).
+    #[must_use]
+    pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+        assert!((1..=64).contains(&nodes), "1..=64 nodes, got {nodes}");
+        assert!(gpus_per_node >= 1);
+        Self {
+            nodes,
+            gpus_per_node,
+            threads: 1,
+            pool: None,
+            epoch_spawn: false,
+        }
+    }
+
+    /// Simulate nodes with up to `threads` worker threads per epoch
+    /// (`0` = available parallelism). The merged timeline is identical
+    /// for any value; only wall-clock changes. Threads now come from a
+    /// persistent [`WorkerPool`] spanning the whole run, so bursty
+    /// traces no longer pay a spawn/join per arrival instant — see
+    /// [`MultiNodeSim::with_epoch_spawn`] for the legacy behaviour.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Share a caller-owned [`WorkerPool`] across runs (benchmark
+    /// loops, repeated evaluations). Overrides
+    /// [`MultiNodeSim::with_threads`].
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Use the legacy per-epoch scoped spawn instead of a persistent
+    /// pool (timeline-identical; kept so `cluster_perf` can measure
+    /// the spawn overhead the pool removes).
+    #[must_use]
+    pub fn with_epoch_spawn(mut self) -> Self {
+        self.epoch_spawn = true;
+        self
+    }
+
+    /// Run a global job trace through the cluster: `selector` routes
+    /// each arrival to a node, `make_dispatcher(node)` builds the
+    /// node-local dispatcher.
+    ///
+    /// # Panics
+    /// Panics if a job requests more GPUs than a node has, if the
+    /// selector returns an out-of-range node, or if a node's dispatcher
+    /// strands jobs (the per-node deadlock check).
+    pub fn run<D, F>(
+        &self,
+        suite: &Suite,
+        mut jobs: Vec<ClusterJob>,
+        selector: &mut dyn NodeSelector,
+        make_dispatcher: F,
+    ) -> MultiNodeReport
+    where
+        D: Dispatcher + Send,
+        F: FnMut(usize) -> D,
+    {
+        for j in &jobs {
+            assert!(
+                j.gpus <= self.gpus_per_node,
+                "job {} needs {} GPUs but nodes have {}",
+                j.id,
+                j.gpus,
+                self.gpus_per_node
+            );
+        }
+        // Stable by arrival: simultaneous submissions keep their order,
+        // exactly like the single-node simulator.
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+
+        let local_pool;
+        let fanout = if let Some(pool) = &self.pool {
+            DriveFanout::Pooled(pool)
+        } else {
+            let threads = resolve_threads(self.threads).min(self.nodes);
+            if threads <= 1 {
+                DriveFanout::Serial
+            } else if self.epoch_spawn {
+                DriveFanout::SpawnPerEpoch(threads)
+            } else {
+                local_pool = WorkerPool::new(threads);
+                DriveFanout::Pooled(&local_pool)
+            }
+        };
+        let mut drive = ClusterDrive::new(suite, self.nodes, self.gpus_per_node, make_dispatcher)
+            .with_fanout(fanout);
+
+        for (start, end) in burst_bounds(&jobs) {
+            // Epoch: advance every node to this arrival instant, then
+            // place the instant's jobs against the barrier snapshots.
+            drive.advance_to(jobs[start].arrival);
+            for job in &jobs[start..end] {
+                let work = job.solo_time(suite);
+                let node = selector.select(job.gpus, work, drive.loads());
+                assert!(
+                    node < self.nodes,
+                    "selector picked node {node} of {}",
+                    self.nodes
+                );
+                drive.place(node, job.clone());
+            }
+        }
+        drive.finish()
     }
 }
 

@@ -96,10 +96,16 @@ pub enum SelectorKind {
     RoundRobin,
     /// [`LeastLoaded`].
     LeastLoaded,
+    /// A trained RL [`PolicySelector`] (see `hrp_cluster::place`):
+    /// needs a training run or checkpoint, so [`SelectorKind::build`]
+    /// cannot construct it — callers train via
+    /// `place::train_placement` and deploy `PlacementAgent::selector`.
+    Policy,
 }
 
 impl SelectorKind {
-    /// Parse a CLI-style name (`round-robin` / `least-loaded`).
+    /// Parse a CLI-style name (`round-robin` / `least-loaded` /
+    /// `policy`).
     ///
     /// # Errors
     /// Returns the unrecognised input.
@@ -107,6 +113,7 @@ impl SelectorKind {
         match s {
             "round-robin" | "rr" => Ok(Self::RoundRobin),
             "least-loaded" | "ll" => Ok(Self::LeastLoaded),
+            "policy" | "rl" => Ok(Self::Policy),
             other => Err(other.to_owned()),
         }
     }
@@ -117,15 +124,32 @@ impl SelectorKind {
         match self {
             Self::RoundRobin => "round-robin",
             Self::LeastLoaded => "least-loaded",
+            Self::Policy => "policy",
         }
     }
 
-    /// Build a fresh selector of this kind.
+    /// Whether this kind needs a trained snapshot (and therefore
+    /// cannot be built by [`SelectorKind::build`]).
+    #[must_use]
+    pub fn needs_training(self) -> bool {
+        matches!(self, Self::Policy)
+    }
+
+    /// Build a fresh heuristic selector of this kind.
+    ///
+    /// # Panics
+    /// Panics for [`SelectorKind::Policy`] — a policy selector wraps a
+    /// trained snapshot (`hrp_cluster::place::PlacementAgent::selector`);
+    /// check [`SelectorKind::needs_training`] first.
     #[must_use]
     pub fn build(self) -> Box<dyn NodeSelector> {
         match self {
             Self::RoundRobin => Box::new(RoundRobin::new()),
             Self::LeastLoaded => Box::new(LeastLoaded),
+            Self::Policy => panic!(
+                "SelectorKind::Policy needs a trained snapshot; \
+                 train via hrp_cluster::place::train_placement"
+            ),
         }
     }
 }
@@ -197,6 +221,8 @@ mod tests {
             Ok(SelectorKind::LeastLoaded)
         );
         assert_eq!(SelectorKind::parse("ll"), Ok(SelectorKind::LeastLoaded));
+        assert_eq!(SelectorKind::parse("policy"), Ok(SelectorKind::Policy));
+        assert_eq!(SelectorKind::parse("rl"), Ok(SelectorKind::Policy));
         assert_eq!(
             SelectorKind::parse("least-busy"),
             Err("least-busy".to_owned())
@@ -204,6 +230,18 @@ mod tests {
         for kind in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
             assert_eq!(SelectorKind::parse(kind.name()), Ok(kind));
             assert_eq!(kind.build().name(), kind.name());
+            assert!(!kind.needs_training());
         }
+        assert_eq!(
+            SelectorKind::parse(SelectorKind::Policy.name()),
+            Ok(SelectorKind::Policy)
+        );
+        assert!(SelectorKind::Policy.needs_training());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a trained snapshot")]
+    fn policy_kind_cannot_be_built_untrained() {
+        let _ = SelectorKind::Policy.build();
     }
 }

@@ -1,0 +1,497 @@
+//! Deterministic cluster-trace generators — the scenario-diversity
+//! axis of the multi-node evaluation.
+//!
+//! Every generator is a pure function of its [`TraceConfig`] (kind,
+//! job count, seed, bounds): the same config always yields the same
+//! job list, arrivals are non-decreasing, and every job respects the
+//! configured GPU bound — properties pinned by
+//! `tests/trace_contract.rs`. The kinds stress different parts of the
+//! placement problem:
+//!
+//! * [`TraceKind::Uniform`] — benchmarks drawn uniformly, independent
+//!   inter-arrival gaps: the easy, well-mixed baseline.
+//! * [`TraceKind::Bursty`] — arrivals clumped into simultaneous
+//!   bursts separated by long gaps: stresses the burst-spreading
+//!   behaviour of the selector (a burst is assigned against one load
+//!   snapshot, updated per assignment).
+//! * [`TraceKind::Skewed`] — job *kinds* drawn from a Zipf popularity
+//!   distribution whose head ranks are the longest-running
+//!   benchmarks, with mildly clumped arrivals: a few job kinds carry
+//!   most of the work, so naive placement (round-robin) piles
+//!   long-job streaks onto single nodes — the §VI load-imbalance
+//!   scenario the RL placement tier is trained on.
+//! * [`TraceKind::HeavyTail`] — job *durations* follow a truncated
+//!   Pareto: samples are mapped to the benchmark with the nearest
+//!   solo time, so a small fraction of jobs dominates total work
+//!   (clamped to the suite's longest benchmark).
+//! * [`TraceKind::Colocate`] — a multi-GPU mix: a configurable share
+//!   of jobs requests 2..=`max_gpus` GPUs and gang-schedules
+//!   exclusively on its node, interleaved with single-GPU fillers.
+//! * [`TraceKind::Staggered`] — the legacy deterministic demo trace
+//!   ([`crate::multinode::staggered_trace`]); ignores the seed by
+//!   construction.
+
+use crate::job::ClusterJob;
+use crate::multinode::staggered_trace;
+use hrp_workloads::Suite;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which arrival/mix pattern to generate (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Uniform benchmark mix, independent inter-arrival gaps.
+    Uniform,
+    /// Simultaneous arrival bursts separated by long gaps.
+    Bursty,
+    /// Zipf-skewed job-kind popularity (head ranks = longest jobs).
+    Skewed,
+    /// Truncated-Pareto job durations (nearest-benchmark mapping).
+    HeavyTail,
+    /// Multi-GPU co-location mix (gang-scheduled wide jobs).
+    Colocate,
+    /// The legacy deterministic demo trace (seed-independent).
+    Staggered,
+}
+
+/// Seed offset separating *evaluation* traces from the
+/// [`crate::place::trace_seed`] training stream: held-out evaluation
+/// (the `repro cluster` trace, the golden placement pin) XORs the base
+/// seed with this before generating, so a trained policy never
+/// evaluates on a trace it trained on (for the seeded kinds; the
+/// seed-independent [`TraceKind::Staggered`] demo trace is the
+/// documented exception).
+pub const EVAL_SEED_OFFSET: u64 = 0x5eed_0000_0000_0000;
+
+/// Every kind, in CLI listing order.
+pub const TRACE_KINDS: [TraceKind; 6] = [
+    TraceKind::Uniform,
+    TraceKind::Bursty,
+    TraceKind::Skewed,
+    TraceKind::HeavyTail,
+    TraceKind::Colocate,
+    TraceKind::Staggered,
+];
+
+impl TraceKind {
+    /// Parse a CLI-style name (`uniform`, `bursty`, `skewed`,
+    /// `heavy-tail`, `colocate`, `staggered`).
+    ///
+    /// # Errors
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(Self::Uniform),
+            "bursty" => Ok(Self::Bursty),
+            "skewed" | "zipf" => Ok(Self::Skewed),
+            "heavy-tail" | "heavytail" => Ok(Self::HeavyTail),
+            "colocate" | "co-locate" => Ok(Self::Colocate),
+            "staggered" => Ok(Self::Staggered),
+            other => Err(other.to_owned()),
+        }
+    }
+
+    /// The CLI-style name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::Bursty => "bursty",
+            Self::Skewed => "skewed",
+            Self::HeavyTail => "heavy-tail",
+            Self::Colocate => "colocate",
+            Self::Staggered => "staggered",
+        }
+    }
+}
+
+/// A trace specification: kind, size, seed, and bounds. Pure data — the
+/// same config always generates the same trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Arrival/mix pattern.
+    pub kind: TraceKind,
+    /// Number of jobs to emit (exactly).
+    pub jobs: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Upper bound on any job's GPU request (the cluster's
+    /// GPUs-per-node; every emitted job fits on one node).
+    pub max_gpus: usize,
+    /// Mean inter-arrival gap in seconds (per job; burst kinds spend
+    /// the whole burst's budget on the gap after it).
+    pub mean_gap: f64,
+}
+
+impl TraceConfig {
+    /// A `jobs`-job trace of the given kind with the evaluation
+    /// defaults (2-GPU nodes, 4 s mean gap).
+    #[must_use]
+    pub fn new(kind: TraceKind, jobs: usize, seed: u64) -> Self {
+        Self {
+            kind,
+            jobs,
+            seed,
+            max_gpus: 2,
+            mean_gap: 4.0,
+        }
+    }
+
+    /// Builder: override the per-job GPU bound.
+    #[must_use]
+    pub fn max_gpus(mut self, max_gpus: usize) -> Self {
+        self.max_gpus = max_gpus;
+        self
+    }
+
+    /// Builder: override the mean inter-arrival gap.
+    #[must_use]
+    pub fn mean_gap(mut self, gap: f64) -> Self {
+        self.mean_gap = gap;
+        self
+    }
+
+    /// Builder: override the seed (used to derive per-episode training
+    /// traces from one base config).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate the trace a [`TraceConfig`] describes. Deterministic:
+/// arrivals are non-decreasing, exactly `cfg.jobs` jobs are emitted,
+/// and every job requests `1..=cfg.max_gpus` GPUs.
+///
+/// # Panics
+/// Panics if `cfg.jobs` is 0, `cfg.max_gpus` is 0, or `cfg.mean_gap`
+/// is not a positive finite number.
+#[must_use]
+pub fn generate(suite: &Suite, cfg: &TraceConfig) -> Vec<ClusterJob> {
+    assert!(cfg.jobs >= 1, "a trace needs at least one job");
+    assert!(cfg.max_gpus >= 1, "max_gpus must be at least 1");
+    assert!(
+        cfg.mean_gap.is_finite() && cfg.mean_gap > 0.0,
+        "mean_gap must be positive and finite, got {}",
+        cfg.mean_gap
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let jobs = match cfg.kind {
+        TraceKind::Uniform => uniform(suite, cfg, &mut rng),
+        TraceKind::Bursty => bursty(suite, cfg, &mut rng),
+        TraceKind::Skewed => skewed(suite, cfg, &mut rng),
+        TraceKind::HeavyTail => heavy_tail(suite, cfg, &mut rng),
+        TraceKind::Colocate => colocate(suite, cfg, &mut rng),
+        TraceKind::Staggered => staggered_trace(suite, cfg.jobs)
+            .into_iter()
+            .map(|mut j| {
+                j.gpus = j.gpus.min(cfg.max_gpus);
+                j
+            })
+            .collect(),
+    };
+    debug_assert_eq!(jobs.len(), cfg.jobs);
+    jobs
+}
+
+/// Uniform inter-arrival gap in `[0, 2 × mean_gap)`.
+fn uniform_gap(cfg: &TraceConfig, rng: &mut SmallRng) -> f64 {
+    rng.gen_range(0.0..2.0 * cfg.mean_gap)
+}
+
+fn job_at(suite: &Suite, id: usize, bench: usize, arrival: f64, gpus: usize) -> ClusterJob {
+    let name = suite.by_index(bench).app.name.clone();
+    ClusterJob::new(id, &name, arrival, gpus, suite)
+}
+
+fn uniform(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<ClusterJob> {
+    let mut t = 0.0;
+    (0..cfg.jobs)
+        .map(|i| {
+            let bench = rng.gen_range(0..suite.len());
+            let job = job_at(suite, i, bench, t, 1);
+            t += uniform_gap(cfg, rng);
+            job
+        })
+        .collect()
+}
+
+fn bursty(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<ClusterJob> {
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    let mut t = 0.0;
+    while jobs.len() < cfg.jobs {
+        let burst = rng.gen_range(2usize..6).min(cfg.jobs - jobs.len());
+        for _ in 0..burst {
+            let bench = rng.gen_range(0..suite.len());
+            jobs.push(job_at(suite, jobs.len(), bench, t, 1));
+        }
+        // The burst's whole arrival budget lands on the gap after it,
+        // so the long-run rate matches the uniform kind.
+        t += burst as f64 * cfg.mean_gap * rng.gen_range(0.5..1.5);
+    }
+    jobs
+}
+
+/// Benchmark indices ranked by descending solo time: Zipf rank 0 (the
+/// most popular kind) is the longest-running job, which is what turns
+/// popularity skew into work skew.
+fn ranks_by_solo_time(suite: &Suite) -> Vec<usize> {
+    let mut ranks: Vec<usize> = (0..suite.len()).collect();
+    ranks.sort_by(|&a, &b| {
+        suite
+            .by_index(b)
+            .app
+            .solo_time
+            .total_cmp(&suite.by_index(a).app.solo_time)
+            .then(a.cmp(&b))
+    });
+    ranks
+}
+
+/// Draw a rank from Zipf(`s`) over `n` ranks via the cumulative table.
+fn zipf_rank(cumulative: &[f64], rng: &mut SmallRng) -> usize {
+    let u = rng.gen_range(0.0..cumulative[cumulative.len() - 1]);
+    cumulative
+        .partition_point(|&c| c <= u)
+        .min(cumulative.len() - 1)
+}
+
+fn skewed(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<ClusterJob> {
+    const ZIPF_S: f64 = 1.4;
+    let ranks = ranks_by_solo_time(suite);
+    let mut cumulative = Vec::with_capacity(ranks.len());
+    let mut acc = 0.0;
+    for r in 0..ranks.len() {
+        acc += 1.0 / ((r + 1) as f64).powf(ZIPF_S);
+        cumulative.push(acc);
+    }
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    let mut t = 0.0;
+    while jobs.len() < cfg.jobs {
+        // Mild clumping: pairs or triples share an arrival instant, so
+        // the popular (long) kinds arrive back to back.
+        let clump = rng.gen_range(1usize..4).min(cfg.jobs - jobs.len());
+        for _ in 0..clump {
+            let bench = ranks[zipf_rank(&cumulative, rng)];
+            jobs.push(job_at(suite, jobs.len(), bench, t, 1));
+        }
+        t += clump as f64 * cfg.mean_gap * rng.gen_range(0.5..1.5);
+    }
+    jobs
+}
+
+fn heavy_tail(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<ClusterJob> {
+    const PARETO_ALPHA: f64 = 1.1;
+    // Benchmarks sorted by solo time for nearest-duration lookup.
+    let mut by_time: Vec<(f64, usize)> = (0..suite.len())
+        .map(|i| (suite.by_index(i).app.solo_time, i))
+        .collect();
+    by_time.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let x_min = by_time[0].0;
+    let nearest = |x: f64| -> usize {
+        let p = by_time.partition_point(|&(t, _)| t < x);
+        match (by_time.get(p.wrapping_sub(1)), by_time.get(p)) {
+            (Some(&(lo, lo_i)), Some(&(hi, hi_i))) => {
+                if x - lo <= hi - x {
+                    lo_i
+                } else {
+                    hi_i
+                }
+            }
+            (Some(&(_, i)), None) | (None, Some(&(_, i))) => i,
+            (None, None) => unreachable!("suite is non-empty"),
+        }
+    };
+    let mut t = 0.0;
+    (0..cfg.jobs)
+        .map(|i| {
+            // Pareto(x_min, α), truncated at the suite's longest job by
+            // the nearest-benchmark mapping.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let x = x_min * (1.0 - u).powf(-1.0 / PARETO_ALPHA);
+            let job = job_at(suite, i, nearest(x), t, 1);
+            t += uniform_gap(cfg, rng);
+            job
+        })
+        .collect()
+}
+
+fn colocate(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<ClusterJob> {
+    let mut t = 0.0;
+    (0..cfg.jobs)
+        .map(|i| {
+            let bench = rng.gen_range(0..suite.len());
+            // Roughly a third of the mix gang-schedules wide; the rest
+            // are single-GPU fillers the co-scheduler can pack around
+            // them. Draw both values unconditionally so the stream
+            // position — and therefore the rest of the trace — does not
+            // depend on max_gpus.
+            let wide = rng.gen_bool(0.35);
+            let width = rng.gen_range(2u32..5).min(cfg.max_gpus as u32) as usize;
+            let gpus = if wide { width.max(1) } else { 1 };
+            let job = job_at(suite, i, bench, t, gpus);
+            t += uniform_gap(cfg, rng);
+            job
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrp_gpusim::GpuArch;
+
+    fn suite() -> Suite {
+        Suite::paper_suite(&GpuArch::a100())
+    }
+
+    #[test]
+    fn every_kind_generates_exactly_the_requested_jobs() {
+        let s = suite();
+        for kind in TRACE_KINDS {
+            for n in [1usize, 7, 24] {
+                let trace = generate(&s, &TraceConfig::new(kind, n, 11));
+                assert_eq!(trace.len(), n, "{}", kind.name());
+                assert!(
+                    trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+                    "{}: arrivals must be non-decreasing",
+                    kind.name()
+                );
+                assert!(
+                    trace.iter().all(|j| j.gpus >= 1 && j.gpus <= 2),
+                    "{}: GPU bound",
+                    kind.name()
+                );
+                assert!(
+                    trace.iter().enumerate().all(|(i, j)| j.id == i),
+                    "{}: ids are dense",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_config() {
+        let s = suite();
+        for kind in TRACE_KINDS {
+            let cfg = TraceConfig::new(kind, 16, 77);
+            assert_eq!(generate(&s, &cfg), generate(&s, &cfg), "{}", kind.name());
+        }
+        // Different seeds actually move the seeded kinds.
+        let a = generate(&s, &TraceConfig::new(TraceKind::Skewed, 16, 1));
+        let b = generate(&s, &TraceConfig::new(TraceKind::Skewed, 16, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn skewed_popularity_concentrates_work_on_few_kinds() {
+        let s = suite();
+        let trace = generate(&s, &TraceConfig::new(TraceKind::Skewed, 200, 5));
+        let mut counts = vec![0usize; s.len()];
+        for j in &trace {
+            counts[j.bench] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top3: usize = sorted[..3].iter().sum();
+        assert!(
+            top3 * 2 > trace.len(),
+            "Zipf head should carry most arrivals: top-3 = {top3}/200"
+        );
+        // And the head is long-running: the most popular kind is the
+        // suite's longest benchmark.
+        let top_kind = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        let max_solo = (0..s.len())
+            .map(|i| s.by_index(i).app.solo_time)
+            .fold(0.0, f64::max);
+        assert_eq!(s.by_index(top_kind).app.solo_time, max_solo);
+    }
+
+    #[test]
+    fn heavy_tail_work_is_dominated_by_the_longest_jobs() {
+        let s = suite();
+        let trace = generate(&s, &TraceConfig::new(TraceKind::HeavyTail, 200, 9));
+        let mut works: Vec<f64> = trace.iter().map(|j| j.solo_time(&s)).collect();
+        works.sort_by(|a, b| b.total_cmp(a));
+        let total: f64 = works.iter().sum();
+        let top_fifth: f64 = works[..40].iter().sum();
+        assert!(
+            top_fifth > 0.4 * total,
+            "top 20% of jobs should carry >40% of work: {top_fifth:.1}/{total:.1}"
+        );
+    }
+
+    #[test]
+    fn colocate_mixes_wide_and_narrow_jobs() {
+        let s = suite();
+        let trace = generate(
+            &s,
+            &TraceConfig::new(TraceKind::Colocate, 60, 3).max_gpus(4),
+        );
+        let wide = trace.iter().filter(|j| j.gpus > 1).count();
+        assert!(wide > 5, "expect a real multi-GPU share, got {wide}");
+        assert!(trace.iter().all(|j| j.gpus <= 4));
+        // With max_gpus = 1 the same config degrades to all-narrow but
+        // keeps the identical arrival/benchmark stream.
+        let narrow = generate(
+            &s,
+            &TraceConfig::new(TraceKind::Colocate, 60, 3).max_gpus(1),
+        );
+        assert!(narrow.iter().all(|j| j.gpus == 1));
+        assert_eq!(
+            trace
+                .iter()
+                .map(|j| j.arrival.to_bits())
+                .collect::<Vec<_>>(),
+            narrow
+                .iter()
+                .map(|j| j.arrival.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bursty_traces_share_arrival_instants() {
+        let s = suite();
+        let trace = generate(&s, &TraceConfig::new(TraceKind::Bursty, 30, 4));
+        let shared = trace
+            .windows(2)
+            .filter(|w| w[0].arrival.to_bits() == w[1].arrival.to_bits())
+            .count();
+        assert!(shared >= 10, "bursts should clump arrivals: {shared}");
+    }
+
+    #[test]
+    fn staggered_kind_matches_the_legacy_trace() {
+        let s = suite();
+        let cfg = TraceConfig::new(TraceKind::Staggered, 24, 42);
+        assert_eq!(generate(&s, &cfg), staggered_trace(&s, 24));
+        // The GPU bound still applies.
+        let capped = generate(&s, &cfg.clone().max_gpus(1));
+        assert!(capped.iter().all(|j| j.gpus == 1));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TRACE_KINDS {
+            assert_eq!(TraceKind::parse(kind.name()), Ok(kind));
+        }
+        assert_eq!(TraceKind::parse("zipf"), Ok(TraceKind::Skewed));
+        assert_eq!(TraceKind::parse("heavytail"), Ok(TraceKind::HeavyTail));
+        assert_eq!(TraceKind::parse("random"), Err("random".to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_traces_are_rejected() {
+        let _ = generate(&suite(), &TraceConfig::new(TraceKind::Uniform, 0, 1));
+    }
+}

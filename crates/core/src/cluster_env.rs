@@ -1,34 +1,34 @@
-//! Cluster-level job placement: the [`NodeSelector`] contract and an
-//! [`Env`]-shaped placement environment for future RL node allocation.
+//! Cluster-level job placement: the [`NodeSelector`] contract, the
+//! shared placement state encoding, and the [`PolicySelector`] bridge
+//! from a trained RL snapshot to a drop-in selector.
 //!
 //! The paper's §VI sketch adds a *global* tier above the node-local
 //! MIG+MPS partitioning: a job first has to be assigned to a node, and
 //! only then does the node-local hierarchy decide how to run it. Liu et
 //! al.'s hierarchical cloud framework (see PAPERS.md) trains exactly
-//! that global tier with RL. This module keeps the two layers
-//! decoupled:
+//! that global tier with RL. This module holds the pieces both sides of
+//! that loop share:
 //!
 //! * [`NodeSelector`] is the placement contract the multi-node cluster
 //!   simulator (`hrp-cluster::multinode`) feeds its global arrival
 //!   queue through. Heuristics (round-robin, least-loaded) live in
 //!   `hrp-cluster::select`; anything implementing the trait can drive
 //!   placement.
-//! * [`ClusterEnv`] phrases one placement episode (a list of jobs to
-//!   assign to `N` nodes) as an [`Env`], so the existing training
-//!   pipeline ([`crate::train::train_env`]) can learn a placement
-//!   policy with zero pipeline changes.
+//! * [`encode_placement_state`] is the state encoding the placement
+//!   environment (`hrp-cluster::place::ClusterEnv`, which replays each
+//!   episode through the real multi-node simulator and pays
+//!   simulation-derived rewards) and [`PolicySelector`] share, so a
+//!   policy trained on simulated episodes sees live loads in the same
+//!   coordinates.
 //! * [`PolicySelector`] closes the loop: it encodes *live* node loads
-//!   with the same [`encode_placement_state`] the env uses and asks a
-//!   frozen [`SnapshotPolicy`] greedily — a learner trained on
-//!   [`ClusterEnv`] episodes becomes a drop-in [`NodeSelector`].
+//!   and asks a frozen [`SnapshotPolicy`] greedily — a learner trained
+//!   on placement episodes becomes a drop-in [`NodeSelector`].
 //!
-//! The environment is deliberately a *stub* of the eventual global
-//! tier: its load model is synthetic (assigned work accumulates, no
-//! event clock), but its state/action/reward surface is the real one,
-//! and it honours the full [`Env`] contract.
+//! The environment itself lives in `hrp-cluster` (it drives the
+//! event-driven node simulators, which this crate cannot depend on);
+//! only the selector-side contract lives here.
 
-use crate::env::StepResult;
-use crate::rl::{Env, SnapshotPolicy};
+use crate::rl::SnapshotPolicy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -50,6 +50,16 @@ pub struct NodeLoad {
     pub outstanding: f64,
 }
 
+impl NodeLoad {
+    /// Outstanding work per installed GPU — the queue-delay estimate a
+    /// new arrival faces on this node, and the quantity the placement
+    /// environment's per-decision reward is phrased in.
+    #[must_use]
+    pub fn per_gpu_outstanding(&self) -> f64 {
+        self.outstanding / self.total_gpus.max(1) as f64
+    }
+}
+
 /// The global placement tier: picks the node for each arriving job.
 ///
 /// Selectors are consulted in global arrival order with a load
@@ -69,188 +79,42 @@ pub trait NodeSelector {
     fn select(&mut self, gpus: usize, work: f64, loads: &[NodeLoad]) -> usize;
 }
 
+/// The bitmask of nodes that can ever host a `gpus`-wide job — the
+/// valid-action mask of the placement decision, shared between the
+/// placement environment and [`PolicySelector`] so training and
+/// deployment mask identically.
+#[must_use]
+pub fn placement_fit_mask(loads: &[NodeLoad], gpus: usize) -> u64 {
+    loads
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.total_gpus >= gpus)
+        .fold(0u64, |m, (i, _)| m | (1 << i))
+}
+
 /// Encode a placement decision state: for every node, its normalised
 /// outstanding work and free-GPU share, then the arriving job's GPU
 /// share and normalised work. The layout (`2·N + 2` floats) is shared
-/// between [`ClusterEnv::state_into`] and [`PolicySelector`], so a
-/// policy trained on the env sees live loads in the same coordinates.
+/// between the placement environment's `state_into` and
+/// [`PolicySelector`], so a policy trained on simulated episodes sees
+/// live loads in the same coordinates.
 pub fn encode_placement_state(loads: &[NodeLoad], gpus: usize, work: f64, out: &mut Vec<f32>) {
-    encode_parts(
-        loads
-            .iter()
-            .map(|l| (l.outstanding, l.free_gpus, l.total_gpus)),
-        gpus,
-        work,
-        out,
-    );
-}
-
-/// The shared encoding core over `(outstanding, free_gpus, total_gpus)`
-/// per-node triples — lets [`ClusterEnv::state_into`] encode straight
-/// from its load arrays on the per-step training hot path, without
-/// materialising [`NodeLoad`]s.
-fn encode_parts<I>(parts: I, gpus: usize, work: f64, out: &mut Vec<f32>)
-where
-    I: Iterator<Item = (f64, usize, usize)> + Clone,
-{
     out.clear();
-    let scale = 1.0 + parts.clone().map(|(o, _, _)| o).fold(0.0, f64::max);
+    let scale = 1.0 + loads.iter().map(|l| l.outstanding).fold(0.0, f64::max);
     let mut total = 0usize;
-    for (outstanding, free, node_total) in parts {
-        out.push((outstanding / scale) as f32);
-        out.push(free as f32 / node_total.max(1) as f32);
-        total += node_total;
+    for l in loads {
+        out.push((l.outstanding / scale) as f32);
+        out.push(l.free_gpus as f32 / l.total_gpus.max(1) as f32);
+        total += l.total_gpus;
     }
     out.push(gpus as f32 / total.max(1) as f32);
     out.push((work / scale) as f32);
 }
 
-/// One job of a placement episode.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PlacementJob {
-    /// GPUs the job needs (must fit on a single node).
-    pub gpus: usize,
-    /// Solo-work estimate in seconds.
-    pub work: f64,
-}
-
-/// A placement episode as an [`Env`]: assign each of a list of jobs to
-/// one of `N` identical nodes.
-///
-/// * **State** — [`encode_placement_state`] over the synthetic loads
-///   (work assigned so far per node) and the job at hand; all-zero job
-///   features once drained.
-/// * **Action** — the node id (`N` actions, all valid while live).
-/// * **Reward** — load-balance shaping: `(min_load − chosen_load) /
-///   norm ≤ 0`, zero exactly when the choice is least-loaded. A richer
-///   reward (simulated makespan) can replace this without touching the
-///   interface.
-/// * **Decision** — the assignment vector, one node id per job.
-#[derive(Debug, Clone)]
-pub struct ClusterEnv {
-    gpus_per_node: usize,
-    jobs: Vec<PlacementJob>,
-    loads: Vec<f64>,
-    pos: usize,
-    assignment: Vec<usize>,
-    /// Reward normaliser: `1 +` mean job work.
-    norm: f64,
-}
-
-impl ClusterEnv {
-    /// A placement episode over `nodes` identical nodes of
-    /// `gpus_per_node` GPUs each.
-    ///
-    /// # Panics
-    /// Panics if `nodes` is 0 or above 64 (action masks are `u64`), or
-    /// if any job cannot fit on a node.
-    #[must_use]
-    pub fn new(nodes: usize, gpus_per_node: usize, jobs: Vec<PlacementJob>) -> Self {
-        assert!((1..=64).contains(&nodes), "1..=64 nodes, got {nodes}");
-        assert!(gpus_per_node >= 1);
-        for (i, j) in jobs.iter().enumerate() {
-            assert!(
-                j.gpus >= 1 && j.gpus <= gpus_per_node,
-                "job {i} needs {} GPUs but nodes have {gpus_per_node}",
-                j.gpus
-            );
-        }
-        let norm = 1.0 + jobs.iter().map(|j| j.work).sum::<f64>() / jobs.len().max(1) as f64;
-        Self {
-            gpus_per_node,
-            jobs,
-            loads: vec![0.0; nodes],
-            pos: 0,
-            assignment: Vec::new(),
-            norm,
-        }
-    }
-
-    /// Number of nodes (= action-space size).
-    #[must_use]
-    pub fn nodes(&self) -> usize {
-        self.loads.len()
-    }
-}
-
-impl Env for ClusterEnv {
-    type Decision = Vec<usize>;
-
-    fn state_dim(&self) -> usize {
-        2 * self.nodes() + 2
-    }
-
-    fn n_actions(&self) -> usize {
-        self.nodes()
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.jobs.len()
-    }
-
-    fn state_into(&self, out: &mut Vec<f32>) {
-        let (gpus, work) = self
-            .jobs
-            .get(self.pos)
-            .map_or((0, 0.0), |j| (j.gpus, j.work));
-        // Free GPUs are static in the stub (the episode has no event
-        // clock), so encode straight from the load array.
-        encode_parts(
-            self.loads
-                .iter()
-                .map(|&o| (o, self.gpus_per_node, self.gpus_per_node)),
-            gpus,
-            work,
-            out,
-        );
-    }
-
-    fn valid_mask(&self) -> u64 {
-        if self.done() {
-            return 0;
-        }
-        // Every node can eventually host every job (fit is asserted at
-        // construction); placement never dead-ends.
-        if self.nodes() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.nodes()) - 1
-        }
-    }
-
-    fn step(&mut self, action: usize) -> StepResult {
-        assert!(!self.done(), "step on a drained placement episode");
-        assert!(action < self.nodes(), "node {action} out of range");
-        let job = self.jobs[self.pos].clone();
-        let before = self.loads[action];
-        let min = self.loads.iter().copied().fold(f64::INFINITY, f64::min);
-        let reward = (min - before) / self.norm;
-        self.loads[action] += job.work;
-        self.assignment.push(action);
-        self.pos += 1;
-        StepResult {
-            reward,
-            done: self.done(),
-            rf: 0.0,
-            ri_mean: reward,
-        }
-    }
-
-    fn reset(&mut self) {
-        self.loads.iter_mut().for_each(|l| *l = 0.0);
-        self.pos = 0;
-        self.assignment.clear();
-    }
-
-    fn into_decision(self) -> Vec<usize> {
-        self.assignment
-    }
-}
-
 /// A [`NodeSelector`] driven by a frozen [`SnapshotPolicy`]: live node
-/// loads are encoded exactly as [`ClusterEnv`] encodes its synthetic
-/// ones, and the policy picks greedily (ε = 0, so the RNG is never
-/// actually consulted — placement stays deterministic).
+/// loads are encoded exactly as the placement environment encodes its
+/// simulated ones, and the policy picks greedily (ε = 0, so the RNG is
+/// never actually consulted — placement stays deterministic).
 pub struct PolicySelector<P: SnapshotPolicy> {
     policy: P,
     rng: SmallRng,
@@ -259,7 +123,7 @@ pub struct PolicySelector<P: SnapshotPolicy> {
 
 impl<P: SnapshotPolicy> PolicySelector<P> {
     /// Wrap a frozen policy (e.g. a [`crate::rl::Learner`] snapshot
-    /// trained on [`ClusterEnv`] episodes).
+    /// trained on `hrp-cluster::place::ClusterEnv` episodes).
     #[must_use]
     pub fn new(policy: P) -> Self {
         Self {
@@ -272,15 +136,11 @@ impl<P: SnapshotPolicy> PolicySelector<P> {
 
 impl<P: SnapshotPolicy> NodeSelector for PolicySelector<P> {
     fn name(&self) -> &'static str {
-        "rl-policy"
+        "policy"
     }
 
     fn select(&mut self, gpus: usize, work: f64, loads: &[NodeLoad]) -> usize {
-        let mask = loads
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.total_gpus >= gpus)
-            .fold(0u64, |m, (i, _)| m | (1 << i));
+        let mask = placement_fit_mask(loads, gpus);
         assert!(mask != 0, "no node can host a {gpus}-GPU job");
         encode_placement_state(loads, gpus, work, &mut self.scratch);
         self.policy
@@ -292,66 +152,55 @@ impl<P: SnapshotPolicy> NodeSelector for PolicySelector<P> {
 mod tests {
     use super::*;
 
-    fn jobs(works: &[f64]) -> Vec<PlacementJob> {
-        works
+    fn loads(outstanding: &[f64]) -> Vec<NodeLoad> {
+        outstanding
             .iter()
-            .map(|&work| PlacementJob { gpus: 1, work })
+            .enumerate()
+            .map(|(node, &o)| NodeLoad {
+                node,
+                total_gpus: 2,
+                free_gpus: 2,
+                queued_jobs: 0,
+                outstanding: o,
+            })
             .collect()
     }
 
     #[test]
-    fn env_contract_holds_over_an_episode() {
-        let mut env = ClusterEnv::new(3, 2, jobs(&[10.0, 20.0, 5.0, 8.0]));
-        let dim = env.state_dim();
-        assert_eq!(dim, 8);
-        assert_eq!(env.n_actions(), 3);
-        let mut state = Vec::new();
-        let mut steps = 0;
-        while !env.done() {
-            let mask = env.valid_mask();
-            assert_eq!(mask, 0b111, "all nodes stay valid");
-            env.state_into(&mut state);
-            assert_eq!(state.len(), dim);
-            env.step(steps % 3);
-            steps += 1;
-        }
-        env.state_into(&mut state);
-        assert_eq!(state.len(), dim, "terminal state keeps the dim");
-        assert_eq!(env.valid_mask(), 0);
-        assert_eq!(steps, 4);
-        assert_eq!(env.into_decision(), vec![0, 1, 2, 0]);
+    fn encoding_has_two_floats_per_node_plus_job_features() {
+        let l = loads(&[4.0, 0.0, 9.0]);
+        let mut out = Vec::new();
+        encode_placement_state(&l, 1, 5.0, &mut out);
+        assert_eq!(out.len(), 2 * 3 + 2);
+        // Outstanding is normalised by 1 + the maximum.
+        assert!((out[0] - 0.4).abs() < 1e-6);
+        assert!((out[4] - 0.9).abs() < 1e-6);
+        // Free share is per-node.
+        assert!((out[1] - 1.0).abs() < 1e-6);
+        // Job features: GPU share of the cluster, normalised work.
+        assert!((out[6] - 1.0 / 6.0).abs() < 1e-6);
+        assert!((out[7] - 0.5).abs() < 1e-6);
     }
 
     #[test]
-    fn least_loaded_choices_pay_zero_shaping_penalty() {
-        let mut env = ClusterEnv::new(2, 1, jobs(&[10.0, 10.0, 10.0]));
-        assert_eq!(env.step(0).reward, 0.0, "empty cluster: any node is min");
-        assert_eq!(env.step(1).reward, 0.0, "node 1 is now the min");
-        let r = env.step(1); // node 1 has 10 s, node 0 has 10 s: tie, still min
-        assert_eq!(r.reward, 0.0);
-        let mut env = ClusterEnv::new(2, 1, jobs(&[10.0, 10.0]));
-        env.step(0);
-        let worse = env.step(0); // picks the loaded node over the idle one
-        assert!(
-            worse.reward < 0.0,
-            "imbalance is penalised: {}",
-            worse.reward
-        );
+    fn per_gpu_outstanding_divides_by_capacity() {
+        let l = NodeLoad {
+            node: 0,
+            total_gpus: 4,
+            free_gpus: 1,
+            queued_jobs: 3,
+            outstanding: 10.0,
+        };
+        assert!((l.per_gpu_outstanding() - 2.5).abs() < 1e-12);
     }
 
     #[test]
-    fn reset_restores_the_initial_state() {
-        let mut env = ClusterEnv::new(2, 2, jobs(&[3.0, 4.0]));
-        let mut before = Vec::new();
-        env.state_into(&mut before);
-        env.step(1);
-        env.step(1);
-        assert!(env.done());
-        env.reset();
-        assert!(!env.done());
-        let mut after = Vec::new();
-        env.state_into(&mut after);
-        assert_eq!(before, after);
+    fn fit_mask_drops_too_small_nodes() {
+        let mut l = loads(&[0.0, 0.0, 0.0]);
+        l[1].total_gpus = 1;
+        assert_eq!(placement_fit_mask(&l, 2), 0b101);
+        assert_eq!(placement_fit_mask(&l, 1), 0b111);
+        assert_eq!(placement_fit_mask(&l, 3), 0);
     }
 
     /// A fixed policy: always the highest valid bit.
@@ -378,12 +227,13 @@ mod tests {
         // is node 1.
         assert_eq!(sel.select(2, 5.0, &loads), 1);
         assert_eq!(sel.select(1, 5.0, &loads), 2);
-        assert_eq!(sel.name(), "rl-policy");
+        assert_eq!(sel.name(), "policy");
     }
 
     #[test]
-    #[should_panic(expected = "needs 4 GPUs")]
-    fn oversized_jobs_are_rejected_at_construction() {
-        let _ = ClusterEnv::new(2, 2, vec![PlacementJob { gpus: 4, work: 1.0 }]);
+    #[should_panic(expected = "no node can host")]
+    fn policy_selector_rejects_unplaceable_jobs() {
+        let mut sel = PolicySelector::new(TopBit);
+        let _ = sel.select(4, 5.0, &loads(&[0.0, 0.0]));
     }
 }

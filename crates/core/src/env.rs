@@ -524,6 +524,8 @@ impl<'a> CoScheduleEnvFactory<'a> {
 }
 
 impl EnvFactory for CoScheduleEnvFactory<'_> {
+    type Ctx = JobQueue;
+
     type Env<'e>
         = CoScheduleEnv<'e>
     where

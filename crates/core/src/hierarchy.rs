@@ -364,6 +364,8 @@ impl<'a> HierarchicalEnvFactory<'a> {
 }
 
 impl EnvFactory for HierarchicalEnvFactory<'_> {
+    type Ctx = JobQueue;
+
     type Env<'e>
         = HierarchicalEnv<'e>
     where

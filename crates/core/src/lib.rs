@@ -34,11 +34,15 @@
 //!   reload to identical greedy decisions;
 //! * [`mod@cluster_env`] — the cluster tier above all of this (§VI):
 //!   the [`cluster_env::NodeSelector`] placement contract the
-//!   multi-node simulator consults, and an [`rl::Env`]-shaped
-//!   placement environment for future RL node allocation;
-//! * [`par`] — the bounded scoped-parallelism primitive
-//!   ([`par::parallel_map`]) the rollout, evaluation, and cluster
-//!   window-drain fan-outs share;
+//!   multi-node simulator consults, the shared placement state
+//!   encoding, and [`cluster_env::PolicySelector`] (the trained-policy
+//!   bridge; the placement environment itself lives in
+//!   `hrp-cluster::place`, where it replays episodes through the real
+//!   multi-node simulator);
+//! * [`par`] — the bounded parallelism primitives
+//!   ([`par::parallel_map`] and the persistent [`par::WorkerPool`])
+//!   the rollout, evaluation, cluster window-drain, and multi-node
+//!   epoch fan-outs share;
 //! * [`policies`] — the five compared methods of §V-A4: `TimeSharing`,
 //!   `MigOnly (C=2)`, `MpsOnly`, `MigMpsDefault`, and `MigMpsRl`;
 //! * [`exhaustive`] — the set-partition dynamic program used to give the
@@ -69,7 +73,7 @@ pub mod rl;
 pub mod train;
 
 pub use actions::ActionCatalog;
-pub use cluster_env::{ClusterEnv, NodeLoad, NodeSelector};
+pub use cluster_env::{NodeLoad, NodeSelector, PolicySelector};
 pub use env::{CoScheduleEnv, CoScheduleEnvFactory, EnvConfig};
 pub use experiment::{CheckpointError, Experiment, TrainedExperiment};
 pub use hierarchy::{HierarchicalCatalog, HierarchicalEnv, HierarchicalEnvFactory};

@@ -33,7 +33,6 @@ use crate::env::StepResult;
 use hrp_nn::dqn::epsilon_greedy_action;
 use hrp_nn::replay::Transition;
 use hrp_nn::{DqnAgent, QNet};
-use hrp_workloads::JobQueue;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
@@ -115,19 +114,27 @@ pub trait Env {
     fn into_decision(self) -> Self::Decision;
 }
 
-/// Stamps out one [`Env`] per episode over a given job queue.
+/// Stamps out one [`Env`] per episode over a given episode context.
 ///
 /// The factory owns (or borrows) everything episode-invariant — suite,
 /// profiles, scaler, action catalog — and is shared by reference across
-/// the rollout worker threads, so it must be [`Sync`].
+/// the rollout worker threads, so it must be [`Sync`]. What varies per
+/// episode is the [`EnvFactory::Ctx`]: a [`hrp_workloads::JobQueue`] for the
+/// co-scheduling formulations, a cluster job trace for node placement —
+/// the pipeline ([`crate::train::train_env`]) only ever hands contexts
+/// back to the factory, so any episode description works.
 pub trait EnvFactory: Sync {
-    /// The environment type, borrowing the factory and the queue.
+    /// The per-episode context an env is built over (shared across the
+    /// rollout worker threads by reference).
+    type Ctx: Sync;
+
+    /// The environment type, borrowing the factory and the context.
     type Env<'e>: Env
     where
         Self: 'e;
 
-    /// Build a fresh episode over `queue`.
-    fn make<'e>(&'e self, queue: &'e JobQueue) -> Self::Env<'e>;
+    /// Build a fresh episode over `ctx`.
+    fn make<'e>(&'e self, ctx: &'e Self::Ctx) -> Self::Env<'e>;
 
     /// State dimension of every produced env.
     fn state_dim(&self) -> usize;

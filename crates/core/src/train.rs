@@ -416,13 +416,13 @@ fn episode_rng(seed: u64, episode: usize) -> SmallRng {
 /// Roll one episode against a frozen policy snapshot.
 fn rollout_episode<F: EnvFactory, S: SnapshotPolicy>(
     factory: &F,
-    queue: &JobQueue,
+    ctx: &F::Ctx,
     snapshot: &S,
     eps: &EpsilonSchedule,
     base_step: u64,
     mut rng: SmallRng,
 ) -> EpisodeResult {
-    let mut env = factory.make(queue);
+    let mut env = factory.make(ctx);
     let mut state = Vec::new();
     let mut transitions = Vec::new();
     let mut rfs = Vec::new();
@@ -459,25 +459,27 @@ fn rollout_episode<F: EnvFactory, S: SnapshotPolicy>(
 /// [`EnvFactory`] × [`Learner`] pair — the generic engine behind
 /// [`train`], reusable for any environment formulation or agent.
 ///
-/// Episode `e` rolls over `queues[e % queues.len()]` with an RNG stream
-/// seeded from `(cfg.seed, e)`; the ε schedule decays over the first
-/// half of `episodes × factory.episode_steps_hint() / 2` expected
-/// steps. All pipeline guarantees of the [module docs](self) —
-/// worker-count invariance, barrier/overlap staleness bounds, episode
-///-order learning — hold for any pair.
+/// Episode `e` rolls over context `ctxs[e % ctxs.len()]` (a
+/// [`JobQueue`] for the co-scheduling envs, a job trace for the
+/// cluster-placement env in `hrp-cluster`) with an RNG stream seeded
+/// from `(cfg.seed, e)`; the ε schedule decays over the first half of
+/// `episodes × factory.episode_steps_hint() / 2` expected steps. All
+/// pipeline guarantees of the [module docs](self) — worker-count
+/// invariance, barrier/overlap staleness bounds, episode-order
+/// learning — hold for any pair.
 ///
 /// Returns the learner (now trained) plus the [`TrainReport`].
 ///
 /// # Panics
-/// Panics if `queues` is empty or a rollout worker panics
+/// Panics if `ctxs` is empty or a rollout worker panics
 /// (environment invariant violation).
 pub fn train_env<F: EnvFactory, L: Learner>(
     factory: &F,
     learner: L,
-    queues: &[JobQueue],
+    ctxs: &[F::Ctx],
     cfg: &PipelineConfig,
 ) -> (L, TrainReport) {
-    assert!(!queues.is_empty(), "need at least one training queue");
+    assert!(!ctxs.is_empty(), "need at least one training context");
     // ε decays over the first ~half of the expected steps, leaving the
     // rest for near-greedy fine-tuning.
     let expected_steps = (cfg.episodes * factory.episode_steps_hint() / 2).max(1) as u64;
@@ -542,7 +544,7 @@ pub fn train_env<F: EnvFactory, L: Learner>(
                     let ep = round_start + k;
                     let result = rollout_episode(
                         factory,
-                        &queues[ep % queues.len()],
+                        &ctxs[ep % ctxs.len()],
                         &*snapshot,
                         eps,
                         base_step,

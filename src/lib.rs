@@ -27,8 +27,11 @@
 //!   overlapped rounds and sharded replay), the five compared policies,
 //!   and the metrics.
 //! * [`cluster`] — the §VI cluster-scale extension: multi-node
-//!   simulation with deterministic event-stream merging, pluggable
-//!   node placement (round-robin / least-loaded / RL hook),
+//!   simulation with deterministic event-stream merging, a
+//!   deterministic trace generator suite (uniform / bursty /
+//!   Zipf-skewed / heavy-tail / multi-GPU colocate), pluggable node
+//!   placement (round-robin / least-loaded / a trained RL policy
+//!   whose rewards come from the simulation itself),
 //!   FCFS+backfilling comparator, queue-pressure policy selection.
 //!
 //! # Quickstart

@@ -1,0 +1,12 @@
+//! Helpers shared by the integration-test suites.
+
+/// Parallel worker count for the thread-invariance checks: every
+/// serial-vs-parallel comparison runs its wide side at this width.
+/// Reads `HRP_TEST_THREADS` (CI's matrix exercises 1 and 4); defaults
+/// to 4.
+pub fn test_threads() -> usize {
+    std::env::var("HRP_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}

@@ -11,17 +11,12 @@
 //! `CoSchedulingDispatcher::new(MpsOnly, 4, 4)` per node. Both thread
 //! modes (serial and `HRP_TEST_THREADS`-wide) must reproduce them.
 
+mod common;
+use common::test_threads;
+
 use hrp::cluster::multinode::{staggered_trace, MultiNodeReport, MultiNodeSim};
 use hrp::cluster::{CoSchedulingDispatcher, SelectorKind};
 use hrp::prelude::*;
-
-/// Parallel worker count for the threaded re-run (CI exercises 1 and 4).
-fn test_threads() -> usize {
-    std::env::var("HRP_TEST_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
-}
 
 struct Golden {
     selector: SelectorKind,

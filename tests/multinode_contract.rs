@@ -6,10 +6,18 @@
 //! * a one-node cluster is event-for-event identical to the
 //!   single-node simulator on the same trace;
 //! * completed jobs are conserved across any selector: every job
-//!   arrives once, starts once, and finishes once.
+//!   arrives once, starts once, and finishes once;
+//! * the epoch fan-out mode — serial, persistent worker pool, or the
+//!   legacy per-epoch scoped spawn — never moves an event.
+//!
+//! (`tests/trace_contract.rs` extends the same guarantees to generated
+//! traces and the RL `PolicySelector`.)
 //!
 //! Set `HRP_TEST_THREADS` to pick the parallel worker count the
 //! invariance cases exercise (CI runs the suite under 1 and 4).
+
+mod common;
+use common::test_threads;
 
 use hrp::cluster::multinode::MultiNodeSim;
 use hrp::cluster::select::{LeastLoaded, RoundRobin};
@@ -17,14 +25,6 @@ use hrp::cluster::sim::{ClusterSim, EventKind};
 use hrp::cluster::{ClusterJob, CoSchedulingDispatcher, SelectorKind};
 use hrp::prelude::*;
 use proptest::prelude::*;
-
-/// Parallel worker count for the invariance checks (see module docs).
-fn test_threads() -> usize {
-    std::env::var("HRP_TEST_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
-}
 
 fn suite() -> Suite {
     Suite::paper_suite(&GpuArch::a100())
@@ -104,6 +104,29 @@ proptest! {
         prop_assert_eq!(multi.aggregate.makespan.to_bits(), report.makespan.to_bits());
         prop_assert_eq!(multi.aggregate.avg_wait.to_bits(), report.avg_wait.to_bits());
         prop_assert_eq!(multi.aggregate.utilization.to_bits(), report.utilization.to_bits());
+    }
+
+    #[test]
+    fn fanout_modes_never_move_an_event(
+        shape in shape_strategy(),
+        nodes in 1usize..=4,
+    ) {
+        // Serial, pooled (the with_threads default), shared pool, and
+        // the legacy per-epoch spawn must all merge to one timeline.
+        let s = suite();
+        let threads = test_threads();
+        let run = |sim: MultiNodeSim| {
+            let mut sel = SelectorKind::LeastLoaded.build();
+            sim.run(&s, trace(&s, &shape), sel.as_mut(), |_| dispatcher())
+        };
+        let serial = run(MultiNodeSim::new(nodes, 2));
+        let pooled = run(MultiNodeSim::new(nodes, 2).with_threads(threads));
+        let spawned = run(MultiNodeSim::new(nodes, 2).with_threads(threads).with_epoch_spawn());
+        let shared = run(MultiNodeSim::new(nodes, 2)
+            .with_pool(std::sync::Arc::new(hrp::core::par::WorkerPool::new(threads))));
+        prop_assert_eq!(&pooled, &serial, "pooled fan-out drifted");
+        prop_assert_eq!(&spawned, &serial, "per-epoch spawn drifted");
+        prop_assert_eq!(&shared, &serial, "shared-pool fan-out drifted");
     }
 
     #[test]
