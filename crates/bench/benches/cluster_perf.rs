@@ -1,9 +1,11 @@
-//! Criterion benchmarks for the multi-node cluster simulator: the
-//! persistent-pool epoch fan-out vs the legacy per-epoch spawn vs the
-//! serial path (the ROADMAP threads=4-trailing-threads=1 regression
-//! was per-epoch spawn/join overhead), the placement-training
-//! environment's episode replay, and the single-node event loop
-//! underneath everything.
+//! Criterion benchmarks for the multi-node cluster simulator: chunked
+//! optimistic vs per-instant barrier vs serial execution on the same
+//! seeded traces (all three produce bit-identical timelines — the
+//! benches time pure engine overhead), the persistent-pool epoch
+//! fan-out vs the legacy per-epoch spawn (the ROADMAP
+//! threads=4-trailing-threads=1 regression was per-epoch spawn/join
+//! overhead), the placement-training environment's episode replay,
+//! and the single-node event loop underneath everything.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hrp_bench::cluster::node_dispatcher;
@@ -11,7 +13,7 @@ use hrp_cluster::multinode::{staggered_trace, MultiNodeSim};
 use hrp_cluster::place::{PlacementAgent, PlacementConfig};
 use hrp_cluster::sim::ClusterSim;
 use hrp_cluster::trace::{generate, TraceConfig, TraceKind};
-use hrp_cluster::SelectorKind;
+use hrp_cluster::{FcfsBackfill, SelectorKind};
 use hrp_core::par::WorkerPool;
 use hrp_gpusim::GpuArch;
 use hrp_workloads::Suite;
@@ -58,6 +60,57 @@ fn bench_fanout_modes(c: &mut Criterion) {
     });
 }
 
+/// Chunked optimistic vs barrier vs serial on the same seeded traces,
+/// all pooled modes sharing ONE worker pool (so the comparison times
+/// the engines, not pool construction). The 100k-job bursty case is
+/// the scale the chunked engine is for: thousands of arrival
+/// instants, so a per-instant barrier pays thousands of fan-out
+/// rounds where chunking pays one per chunk.
+fn bench_chunked_vs_barrier(c: &mut Criterion) {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    let pool = Arc::new(WorkerPool::new(4));
+    let run = |sim: &MultiNodeSim, jobs: &[hrp_cluster::ClusterJob]| {
+        let mut sel = SelectorKind::LeastLoaded.build();
+        sim.run(&suite, jobs.to_vec(), sel.as_mut(), |_| FcfsBackfill::new())
+    };
+    // Moderate scale: every mode is cheap enough for steady sampling.
+    let jobs = generate(
+        &suite,
+        &TraceConfig::new(TraceKind::Bursty, 2_000, 42).max_gpus(2),
+    );
+    c.bench_function("cluster_8nodes_serial_fcfs2k", |b| {
+        let sim = MultiNodeSim::new(8, 2).with_threads(1);
+        b.iter(|| black_box(run(&sim, &jobs)))
+    });
+    c.bench_function("cluster_8nodes_barrier4_fcfs2k", |b| {
+        let sim = MultiNodeSim::new(8, 2).with_pool(Arc::clone(&pool));
+        b.iter(|| black_box(run(&sim, &jobs)))
+    });
+    c.bench_function("cluster_8nodes_chunked4_fcfs2k", |b| {
+        let sim = MultiNodeSim::new(8, 2)
+            .with_pool(Arc::clone(&pool))
+            .with_chunk_width(64.0);
+        b.iter(|| black_box(run(&sim, &jobs)))
+    });
+    // The ≥100k-job case: thousands of distinct arrival instants,
+    // which is where the per-instant barrier's fan-out count explodes
+    // and the chunked engine's one-round-per-chunk pays off.
+    let big = generate(
+        &suite,
+        &TraceConfig::new(TraceKind::Bursty, 100_000, 42).max_gpus(2),
+    );
+    c.bench_function("cluster_8nodes_barrier4_fcfs100k", |b| {
+        let sim = MultiNodeSim::new(8, 2).with_pool(Arc::clone(&pool));
+        b.iter(|| black_box(run(&sim, &big)))
+    });
+    c.bench_function("cluster_8nodes_chunked4_fcfs100k", |b| {
+        let sim = MultiNodeSim::new(8, 2)
+            .with_pool(Arc::clone(&pool))
+            .with_chunk_width(64.0);
+        b.iter(|| black_box(run(&sim, &big)))
+    });
+}
+
 /// One greedy placement episode through the simulation-backed env —
 /// the per-episode cost the placement-training rollout workers pay.
 fn bench_placement_episode(c: &mut Criterion) {
@@ -74,6 +127,7 @@ criterion_group!(
     benches,
     bench_single_node_loop,
     bench_fanout_modes,
+    bench_chunked_vs_barrier,
     bench_placement_episode
 );
 criterion_main!(benches);

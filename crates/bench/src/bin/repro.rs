@@ -5,6 +5,7 @@
 //!       [--env flat|hierarchical] [--nodes N]
 //!       [--selector round-robin|least-loaded|policy]
 //!       [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered]
+//!       [--chunk-width W] [--reps N]
 //!       [--out DIR] <command>
 //!
 //! commands:
@@ -23,8 +24,11 @@
 //!   oracle    oracle-greedy reference throughput
 //!   cluster   multi-node placement comparison (§VI) vs the
 //!             single-node baseline
+//!   bench-cluster  timing statistics: chunked optimistic vs barrier
+//!             vs serial on large seeded traces; writes BENCH_6.json
 //!   ablate-reward | ablate-agent | ablate-interference
-//!   all       everything above (fig8/11/12 share one training run)
+//!   all       everything above except bench-cluster (fig8/11/12
+//!             share one training run)
 //! ```
 //!
 //! `--quick` shrinks the network and episode count for smoke runs; the
@@ -47,9 +51,17 @@
 //! least-loaded rows. With `--nodes 1` the multi-node path reproduces
 //! the single-node simulator bit-for-bit, and the merged timeline —
 //! and the trained policy — are identical for any `--threads` value.
+//! `--chunk-width W` switches the `cluster` command's run (and sets
+//! the `bench-cluster` chunk size, default 64 simulated seconds) to
+//! the chunked optimistic engine — same timeline, fewer
+//! synchronization rounds. `--reps N` overrides the `bench-cluster`
+//! repetition count (default: 3 with `--quick`, 5 otherwise); the
+//! harness writes its statistics to `BENCH_6.json` in the working
+//! directory.
 //!
 //! Malformed invocations (unknown flags or commands, missing or
-//! unparsable values, `--shards 0`, `--nodes 0`,
+//! unparsable values, `--shards 0`, `--nodes 0`, `--chunk-width 0`
+//! (or negative/non-finite), `--reps 0`,
 //! `--env`/`--selector`/`--trace` typos) exit with status 2 and a
 //! usage message rather than panicking or silently defaulting.
 
@@ -89,6 +101,11 @@ struct Options {
     selector: SelectorKind,
     /// Trace kind for the `cluster` command.
     trace: TraceKind,
+    /// Chunked-engine width for `cluster`/`bench-cluster` (`None` =
+    /// barrier mode for `cluster`, 64 s for `bench-cluster`).
+    chunk_width: Option<f64>,
+    /// `bench-cluster` repetitions (`0` = the mode default).
+    reps: usize,
 }
 
 impl Options {
@@ -121,9 +138,11 @@ impl Options {
 const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
 [--env flat|hierarchical] [--nodes N] [--selector round-robin|least-loaded|policy] \
 [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered] \
+[--chunk-width W] [--reps N] \
 [--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
-          overhead oracle cluster ablate-reward ablate-agent ablate-interference all";
+          overhead oracle cluster bench-cluster
+          ablate-reward ablate-agent ablate-interference all";
 
 /// Reject a malformed invocation: message + usage, exit status 2 (never
 /// a panic, never a silent default).
@@ -160,6 +179,8 @@ fn main() {
         nodes: 1,
         selector: SelectorKind::RoundRobin,
         trace: TraceKind::Staggered,
+        chunk_width: None,
+        reps: 0,
     };
     let mut cmd: Option<&str> = None;
     let mut it = args.iter();
@@ -205,6 +226,24 @@ fn main() {
                          (expected 'round-robin', 'least-loaded', or 'policy')"
                     ))
                 });
+            }
+            "--chunk-width" => {
+                let raw = flag_value(&mut it, "--chunk-width");
+                let w: f64 = parse_flag("--chunk-width", raw);
+                if !(w.is_finite() && w > 0.0) {
+                    fail(&format!(
+                        "--chunk-width must be positive and finite (got '{raw}')"
+                    ));
+                }
+                opts.chunk_width = Some(w);
+            }
+            "--reps" => {
+                let raw = flag_value(&mut it, "--reps");
+                let n: usize = parse_flag("--reps", raw);
+                if n == 0 {
+                    fail("--reps must be at least 1 (got '0')");
+                }
+                opts.reps = n;
             }
             "--trace" => {
                 let raw = flag_value(&mut it, "--trace");
@@ -277,6 +316,7 @@ fn main() {
         "ablate-interference" => ablate_interference_cmd(&suite, &opts),
         "oracle" => oracle_cmd(&suite, &opts),
         "cluster" => cluster_cmd(&suite, &opts),
+        "bench-cluster" => bench_cluster_cmd(&suite, &opts),
         "all" => {
             table4(&suite, &opts);
             table5(&suite, &opts);
@@ -588,6 +628,7 @@ fn cluster_cmd(suite: &Suite, opts: &Options) {
             seed: opts.seed,
             quick: opts.quick,
             threads: opts.threads,
+            chunk_width: opts.chunk_width,
         },
     );
     println!(
@@ -660,6 +701,55 @@ fn cluster_cmd(suite: &Suite, opts: &Options) {
         "-".into(),
     ]);
     t.emit("cluster_scaling", opts.out.as_deref());
+}
+
+fn bench_cluster_cmd(suite: &Suite, opts: &Options) {
+    use hrp_bench::bench_cluster::{render_json, run_bench, BenchConfig, BENCH_NODES};
+    let cfg = BenchConfig {
+        quick: opts.quick,
+        seed: opts.seed,
+        reps: opts.reps,
+        threads: opts.threads,
+        chunk_width: opts.chunk_width.unwrap_or(64.0),
+    };
+    println!(
+        "# bench-cluster: {} nodes, {} jobs/trace, {} reps, chunk width {}",
+        BENCH_NODES,
+        cfg.jobs(),
+        cfg.effective_reps(),
+        cfg.chunk_width
+    );
+    let report = run_bench(suite, &cfg);
+    let mut t = Table::new(&[
+        "trace",
+        "mode",
+        "mean_ms",
+        "std_err_ms",
+        "ci95_lo_ms",
+        "ci95_hi_ms",
+        "sync_rounds",
+        "rollbacks",
+        "digest",
+    ]);
+    for tr in &report.traces {
+        for m in &tr.modes {
+            t.row(vec![
+                tr.kind.name().to_owned(),
+                m.mode.to_owned(),
+                f3(m.time_ms.mean),
+                f3(m.time_ms.std_err),
+                f3(m.time_ms.ci95_lo),
+                f3(m.time_ms.ci95_hi),
+                m.sync.sync_rounds.to_string(),
+                m.sync.rollbacks.to_string(),
+                format!("{:016x}", m.digest),
+            ]);
+        }
+    }
+    t.emit("bench_cluster", opts.out.as_deref());
+    let json = render_json(&report);
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("# wrote BENCH_6.json");
 }
 
 fn ablate_interference_cmd(suite: &Suite, opts: &Options) {

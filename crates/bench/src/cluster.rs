@@ -119,7 +119,9 @@ pub fn single_node_baseline(suite: &Suite, jobs: &[ClusterJob]) -> ClusterReport
 /// One comparison row: `jobs` on `nodes` nodes under `selector`, next
 /// to a precomputed single-node `baseline`. `threads` caps the
 /// per-epoch node fan-out (`0` = available parallelism, served by a
-/// persistent worker pool); results are identical for any value.
+/// persistent worker pool); `chunk_width` switches the run to the
+/// chunked optimistic engine. Results are bit-identical for any
+/// combination of the two (the determinism contract).
 #[must_use]
 pub fn compare_row(
     suite: &Suite,
@@ -127,11 +129,14 @@ pub fn compare_row(
     nodes: usize,
     selector: &mut dyn hrp_cluster::NodeSelector,
     threads: usize,
+    chunk_width: Option<f64>,
     baseline: ClusterReport,
 ) -> ClusterComparison {
-    let report = MultiNodeSim::new(nodes, GPUS_PER_NODE)
-        .with_threads(threads)
-        .run(suite, jobs.to_vec(), selector, |_| node_dispatcher());
+    let mut sim = MultiNodeSim::new(nodes, GPUS_PER_NODE).with_threads(threads);
+    if let Some(width) = chunk_width {
+        sim = sim.with_chunk_width(width);
+    }
+    let report = sim.run(suite, jobs.to_vec(), selector, |_| node_dispatcher());
     ClusterComparison {
         selector: selector.name().to_owned(),
         report,
@@ -150,7 +155,7 @@ pub fn cluster_compare(
     threads: usize,
 ) -> ClusterComparison {
     let baseline = single_node_baseline(suite, jobs);
-    compare_row(suite, jobs, nodes, selector, threads, baseline)
+    compare_row(suite, jobs, nodes, selector, threads, None, baseline)
 }
 
 /// The full placement comparison behind `repro cluster`: the evaluated
@@ -177,6 +182,9 @@ pub struct ComparisonOptions {
     /// Epoch fan-out / rollout worker cap (`0` = auto; results are
     /// identical for any value).
     pub threads: usize,
+    /// Chunk width of the chunked optimistic engine; `None` keeps the
+    /// per-instant barrier. Results are identical either way.
+    pub chunk_width: Option<f64>,
 }
 
 /// Run `jobs` under each selector in `kinds` (training a placement
@@ -213,6 +221,7 @@ pub fn placement_comparison(
                     opts.nodes,
                     &mut sel,
                     opts.threads,
+                    opts.chunk_width,
                     baseline.clone(),
                 )
             } else {
@@ -223,6 +232,7 @@ pub fn placement_comparison(
                     opts.nodes,
                     sel.as_mut(),
                     opts.threads,
+                    opts.chunk_width,
                     baseline.clone(),
                 )
             }
@@ -263,6 +273,23 @@ mod tests {
             );
             assert_eq!(cmp.report.completed_jobs(), 24);
         }
+    }
+
+    #[test]
+    fn chunked_comparison_row_matches_barrier_bit_for_bit() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let jobs = evaluation_trace(&suite, TraceKind::Bursty, 32, 42);
+        let baseline = single_node_baseline(&suite, &jobs);
+        let mut a = SelectorKind::LeastLoaded.build();
+        let mut b = SelectorKind::LeastLoaded.build();
+        let barrier = compare_row(&suite, &jobs, 4, a.as_mut(), 1, None, baseline.clone());
+        let chunked = compare_row(&suite, &jobs, 4, b.as_mut(), 1, Some(25.0), baseline);
+        assert_eq!(
+            barrier.report.timeline.digest(),
+            chunked.report.timeline.digest()
+        );
+        assert_eq!(barrier.report.aggregate, chunked.report.aggregate);
+        assert!(chunked.report.sync.sync_rounds < barrier.report.sync.sync_rounds);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! * [`cluster`] — the §VI multi-node placement comparison
 //!   (`repro cluster --nodes N --selector X` vs the single-node
 //!   baseline);
+//! * [`bench_cluster`] — the `repro bench-cluster` statistics harness
+//!   (chunked optimistic vs barrier vs serial on large seeded traces,
+//!   persisted as `BENCH_6.json`);
+//! * [`stats`] — small-sample summaries (mean, standard error,
+//!   Student-t 95 % CI) backing the harness;
 //! * [`report`] — TSV table assembly and file output.
 //!
 //! The `repro` binary stitches these into one subcommand per figure and
@@ -20,7 +25,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench_cluster;
 pub mod cluster;
 pub mod eval;
 pub mod obs;
 pub mod report;
+pub mod stats;

@@ -146,7 +146,12 @@ pub struct NodeStats {
 /// the next [`NodeRun::advance_until`] call: co-timed arrivals must be
 /// on the queue before the dispatcher sees the freed GPUs, exactly as
 /// if all events lived in one merged queue.
-#[derive(Debug)]
+///
+/// A `NodeRun` is `Clone` (when its dispatcher is): the chunked
+/// optimistic driver in [`crate::multinode`] snapshots a node at a
+/// chunk seam and restores the snapshot when a speculation is
+/// invalidated by a cross-chunk placement.
+#[derive(Debug, Clone)]
 pub struct NodeRun<D: Dispatcher> {
     node: usize,
     n_gpus: usize,
@@ -245,6 +250,19 @@ impl<D: Dispatcher> NodeRun<D> {
         }
     }
 
+    /// Reserve room for `additional` more events. Million-job drivers
+    /// pre-size the stream once instead of doubling through it.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
+    /// Move the events recorded so far into `out`, leaving the run
+    /// live (and its buffer's capacity intact). The chunked driver
+    /// commits a chunk's events at the seam without finishing the node.
+    pub fn drain_events_into(&mut self, out: &mut Vec<NodeEvent>) {
+        out.append(&mut self.events);
+    }
+
     fn record(&mut self, time: f64, kind: EventKind) {
         self.events.push(NodeEvent {
             time,
@@ -278,15 +296,30 @@ impl<D: Dispatcher> NodeRun<D> {
         {
             assert!(p.gpus <= self.free, "dispatcher over-allocated");
             assert!(!p.job_ids.is_empty());
-            for id in &p.job_ids {
-                let pos = self
-                    .waiting
-                    .iter()
-                    .position(|j| j.id == *id)
-                    .expect("placement references waiting job");
-                let job = self.waiting.remove(pos);
-                self.wait_sum += self.clock - job.arrival;
+            // Resolve every placed id in one sweep of the queue, accrue
+            // waits in placement order (the f64 sum order the old
+            // per-id scan used), then compact the queue once: the old
+            // per-id `Vec::remove` cost O(|window| · queue) memmoves,
+            // which dominates crowded drains at 100k+ jobs.
+            let ids = &p.job_ids;
+            let mut arrivals: Vec<f64> = vec![f64::NAN; ids.len()];
+            let mut found = 0usize;
+            for j in &self.waiting {
+                if let Some(k) = ids.iter().position(|id| *id == j.id) {
+                    if arrivals[k].is_nan() {
+                        arrivals[k] = j.arrival;
+                        found += 1;
+                        if found == ids.len() {
+                            break;
+                        }
+                    }
+                }
             }
+            assert!(found == ids.len(), "placement references waiting job");
+            for a in &arrivals {
+                self.wait_sum += self.clock - a;
+            }
+            self.waiting.retain(|j| !ids.contains(&j.id));
             self.free -= p.gpus;
             self.busy_gpu_seconds += p.duration * p.gpus as f64;
             self.running
@@ -305,9 +338,14 @@ impl<D: Dispatcher> NodeRun<D> {
 
     /// Release placements that finished by the current clock.
     fn release_finished(&mut self) {
-        let mut still = Vec::with_capacity(self.running.len());
-        for (t, g, ids) in std::mem::take(&mut self.running) {
-            if t <= self.clock + TIME_EPS {
+        // Stable in-place compaction: finish events are recorded in
+        // the same entry order as before (seq assignment depends on
+        // it) but without the per-release buffer allocation — this is
+        // the hottest loop at million-job scale.
+        let mut kept = 0;
+        for i in 0..self.running.len() {
+            if self.running[i].0 <= self.clock + TIME_EPS {
+                let (t, g, ids) = std::mem::replace(&mut self.running[i], (0.0, 0, Vec::new()));
                 self.free += g;
                 self.completed += ids.len();
                 self.record(
@@ -319,10 +357,11 @@ impl<D: Dispatcher> NodeRun<D> {
                 );
                 self.dirty = true;
             } else {
-                still.push((t, g, ids));
+                self.running.swap(kept, i);
+                kept += 1;
             }
         }
-        self.running = still;
+        self.running.truncate(kept);
     }
 
     /// Advance the node through every event up to `horizon`.
@@ -456,6 +495,9 @@ impl ClusterSim {
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         let total_jobs = jobs.len();
         let mut node = NodeRun::new(0, self.n_gpus, DynDispatcher(dispatcher));
+        // One arrival per job plus at most one start and one finish
+        // event per job (windows batch several jobs per placement).
+        node.reserve_events(2 * total_jobs);
         for job in jobs {
             node.push_arrival(job);
         }

@@ -202,8 +202,16 @@ fn uniform_gap(cfg: &TraceConfig, rng: &mut SmallRng) -> f64 {
 }
 
 fn job_at(suite: &Suite, id: usize, bench: usize, arrival: f64, gpus: usize) -> ClusterJob {
-    let name = suite.by_index(bench).app.name.clone();
-    ClusterJob::new(id, &name, arrival, gpus, suite)
+    // The bench index is already resolved; `ClusterJob::new`'s
+    // name-to-index lookup is O(|suite|) string compares per job,
+    // which is real money at a million jobs.
+    ClusterJob {
+        id,
+        name: suite.by_index(bench).app.name.clone(),
+        bench,
+        arrival,
+        gpus,
+    }
 }
 
 fn uniform(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<ClusterJob> {
@@ -337,6 +345,202 @@ fn colocate(suite: &Suite, cfg: &TraceConfig, rng: &mut SmallRng) -> Vec<Cluster
         })
         .collect()
 }
+
+/// Per-kind generator state of a [`TraceStream`]: whatever the
+/// materializing generators keep between jobs, and nothing sized by
+/// the job count.
+enum StreamState {
+    Uniform,
+    Bursty {
+        burst_size: usize,
+        burst_left: usize,
+    },
+    Skewed {
+        ranks: Vec<usize>,
+        cumulative: Vec<f64>,
+        clump_size: usize,
+        clump_left: usize,
+    },
+    HeavyTail {
+        by_time: Vec<(f64, usize)>,
+        x_min: f64,
+    },
+    Colocate,
+    Staggered,
+}
+
+/// A streaming trace generator: yields exactly the job sequence
+/// [`generate`] materialises — same RNG draws in the same order — one
+/// job at a time in O(1) memory, so million-job traces never need a
+/// `Vec` just to be walked (pinned against [`generate`] in this
+/// module's tests and exercised at the 1M boundary).
+///
+/// Built by [`stream`]; an [`ExactSizeIterator`] over `cfg.jobs` jobs.
+pub struct TraceStream<'a> {
+    suite: &'a Suite,
+    cfg: TraceConfig,
+    rng: SmallRng,
+    t: f64,
+    next_id: usize,
+    state: StreamState,
+}
+
+/// Stream the trace a [`TraceConfig`] describes, job by job, without
+/// materialising it (see [`TraceStream`]).
+///
+/// # Panics
+/// Same conditions as [`generate`].
+#[must_use]
+pub fn stream<'a>(suite: &'a Suite, cfg: &TraceConfig) -> TraceStream<'a> {
+    assert!(cfg.jobs >= 1, "a trace needs at least one job");
+    assert!(cfg.max_gpus >= 1, "max_gpus must be at least 1");
+    assert!(
+        cfg.mean_gap.is_finite() && cfg.mean_gap > 0.0,
+        "mean_gap must be positive and finite, got {}",
+        cfg.mean_gap
+    );
+    let state = match cfg.kind {
+        TraceKind::Uniform => StreamState::Uniform,
+        TraceKind::Bursty => StreamState::Bursty {
+            burst_size: 0,
+            burst_left: 0,
+        },
+        TraceKind::Skewed => {
+            const ZIPF_S: f64 = 1.4;
+            let ranks = ranks_by_solo_time(suite);
+            let mut cumulative = Vec::with_capacity(ranks.len());
+            let mut acc = 0.0;
+            for r in 0..ranks.len() {
+                acc += 1.0 / ((r + 1) as f64).powf(ZIPF_S);
+                cumulative.push(acc);
+            }
+            StreamState::Skewed {
+                ranks,
+                cumulative,
+                clump_size: 0,
+                clump_left: 0,
+            }
+        }
+        TraceKind::HeavyTail => {
+            let mut by_time: Vec<(f64, usize)> = (0..suite.len())
+                .map(|i| (suite.by_index(i).app.solo_time, i))
+                .collect();
+            by_time.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let x_min = by_time[0].0;
+            StreamState::HeavyTail { by_time, x_min }
+        }
+        TraceKind::Colocate => StreamState::Colocate,
+        TraceKind::Staggered => StreamState::Staggered,
+    };
+    TraceStream {
+        suite,
+        cfg: cfg.clone(),
+        rng: SmallRng::seed_from_u64(cfg.seed),
+        t: 0.0,
+        next_id: 0,
+        state,
+    }
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = ClusterJob;
+
+    fn next(&mut self) -> Option<ClusterJob> {
+        if self.next_id >= self.cfg.jobs {
+            return None;
+        }
+        let (suite, cfg, rng) = (self.suite, &self.cfg, &mut self.rng);
+        let i = self.next_id;
+        let remaining = cfg.jobs - i;
+        let job = match &mut self.state {
+            StreamState::Uniform => {
+                let bench = rng.gen_range(0..suite.len());
+                let job = job_at(suite, i, bench, self.t, 1);
+                self.t += uniform_gap(cfg, rng);
+                job
+            }
+            StreamState::Bursty {
+                burst_size,
+                burst_left,
+            } => {
+                if *burst_left == 0 {
+                    *burst_size = rng.gen_range(2usize..6).min(remaining);
+                    *burst_left = *burst_size;
+                }
+                let bench = rng.gen_range(0..suite.len());
+                let job = job_at(suite, i, bench, self.t, 1);
+                *burst_left -= 1;
+                if *burst_left == 0 {
+                    self.t += *burst_size as f64 * cfg.mean_gap * rng.gen_range(0.5..1.5);
+                }
+                job
+            }
+            StreamState::Skewed {
+                ranks,
+                cumulative,
+                clump_size,
+                clump_left,
+            } => {
+                if *clump_left == 0 {
+                    *clump_size = rng.gen_range(1usize..4).min(remaining);
+                    *clump_left = *clump_size;
+                }
+                let bench = ranks[zipf_rank(cumulative, rng)];
+                let job = job_at(suite, i, bench, self.t, 1);
+                *clump_left -= 1;
+                if *clump_left == 0 {
+                    self.t += *clump_size as f64 * cfg.mean_gap * rng.gen_range(0.5..1.5);
+                }
+                job
+            }
+            StreamState::HeavyTail { by_time, x_min } => {
+                const PARETO_ALPHA: f64 = 1.1;
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = *x_min * (1.0 - u).powf(-1.0 / PARETO_ALPHA);
+                let p = by_time.partition_point(|&(t, _)| t < x);
+                let bench = match (by_time.get(p.wrapping_sub(1)), by_time.get(p)) {
+                    (Some(&(lo, lo_i)), Some(&(hi, hi_i))) => {
+                        if x - lo <= hi - x {
+                            lo_i
+                        } else {
+                            hi_i
+                        }
+                    }
+                    (Some(&(_, i)), None) | (None, Some(&(_, i))) => i,
+                    (None, None) => unreachable!("suite is non-empty"),
+                };
+                let job = job_at(suite, i, bench, self.t, 1);
+                self.t += uniform_gap(cfg, rng);
+                job
+            }
+            StreamState::Colocate => {
+                let bench = rng.gen_range(0..suite.len());
+                let wide = rng.gen_bool(0.35);
+                let width = rng.gen_range(2u32..5).min(cfg.max_gpus as u32) as usize;
+                let gpus = if wide { width.max(1) } else { 1 };
+                let job = job_at(suite, i, bench, self.t, gpus);
+                self.t += uniform_gap(cfg, rng);
+                job
+            }
+            StreamState::Staggered => {
+                let bench = (i * 7) % suite.len();
+                let gpus = (if i % 9 == 8 { 2usize } else { 1 })
+                    .min(cfg.max_gpus)
+                    .max(1);
+                job_at(suite, i, bench, (i / 4) as f64 * 5.0, gpus)
+            }
+        };
+        self.next_id += 1;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.jobs - self.next_id;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceStream<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -493,5 +697,55 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn empty_traces_are_rejected() {
         let _ = generate(&suite(), &TraceConfig::new(TraceKind::Uniform, 0, 1));
+    }
+
+    #[test]
+    fn streaming_generation_is_bit_identical_to_materialising() {
+        // The stream must replay `generate`'s RNG draws in the same
+        // order, so arrivals compare bit-for-bit, not approximately.
+        let s = suite();
+        for kind in TRACE_KINDS {
+            for n in [1usize, 5, 64, 777] {
+                let cfg = TraceConfig::new(kind, n, 123).max_gpus(4);
+                let streamed: Vec<ClusterJob> = stream(&s, &cfg).collect();
+                let materialised = generate(&s, &cfg);
+                assert_eq!(streamed.len(), n);
+                assert_eq!(streamed, materialised, "{} n={n}", kind.name());
+                assert!(streamed
+                    .iter()
+                    .zip(&materialised)
+                    .all(|(a, b)| a.arrival.to_bits() == b.arrival.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn million_job_boundary_streams_without_materialising() {
+        // The 1M-job scale audit's regression pin: ids stay dense,
+        // arrivals non-decreasing (compared via total_cmp, as the
+        // simulator orders them), and times/ids never wrap — all
+        // checked in O(1) memory straight off the stream.
+        let s = suite();
+        let cfg = TraceConfig::new(TraceKind::Bursty, 1_000_001, 77).mean_gap(0.001);
+        let mut expected_id = 0usize;
+        let mut last_arrival = f64::NEG_INFINITY;
+        for job in stream(&s, &cfg) {
+            assert_eq!(job.id, expected_id);
+            assert!(job.arrival.total_cmp(&last_arrival).is_ge());
+            assert!(job.arrival.is_finite());
+            last_arrival = job.arrival;
+            expected_id += 1;
+        }
+        assert_eq!(expected_id, 1_000_001, "exactly the requested jobs");
+        assert!(last_arrival > 0.0);
+    }
+
+    #[test]
+    fn stream_reports_an_exact_size() {
+        let s = suite();
+        let mut it = stream(&s, &TraceConfig::new(TraceKind::Uniform, 10, 1));
+        assert_eq!(it.len(), 10);
+        let _ = it.next();
+        assert_eq!(it.len(), 9);
     }
 }

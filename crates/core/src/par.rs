@@ -259,12 +259,42 @@ impl WorkerPool {
             // drop, so an overwrite-free `write` is enough.
             unsafe { slots.write(i, Some(v)) };
         };
-        let erased: &(dyn Fn(usize) + Sync) = &call;
+        self.run_epoch(&call, n);
+        out.into_iter()
+            .map(|v| v.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Run `f` over every index in `0..n` on the pool's workers without
+    /// collecting outputs — one synchronized fan-out round with no
+    /// per-call result buffer. The workhorse behind effect-only epochs
+    /// (the multi-node drivers advance nodes behind mutexes and keep
+    /// nothing per index).
+    ///
+    /// # Panics
+    /// Propagates a panic from `f`.
+    pub fn for_each<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.handles.is_empty() || n <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        self.run_epoch(&f, n);
+    }
+
+    /// Publish one epoch of work and block until every worker finished
+    /// it (the shared core of [`WorkerPool::map`] and
+    /// [`WorkerPool::for_each`]).
+    fn run_epoch(&self, f: &(dyn Fn(usize) + Sync), n: usize) {
         #[allow(clippy::missing_transmute_annotations)]
         let call = ErasedFn(unsafe {
-            // Erase the borrow's lifetime; `map` blocks until every
-            // worker finished the epoch (see `ErasedFn`).
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(erased)
+            // Erase the borrow's lifetime; the publisher blocks until
+            // every worker finished the epoch (see `ErasedFn`).
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(f)
         });
 
         let mut ctrl = self.shared.ctrl.lock().expect("pool lock");
@@ -295,9 +325,6 @@ impl WorkerPool {
             // would.
             std::panic::resume_unwind(payload);
         }
-        out.into_iter()
-            .map(|v| v.expect("every index claimed exactly once"))
-            .collect()
     }
 }
 
@@ -437,6 +464,24 @@ mod tests {
             assert_eq!(got, want, "round {round}");
         }
         assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn pool_for_each_visits_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        for threads in [1usize, 2, 4, 0] {
+            let pool = WorkerPool::new(threads);
+            let hits: Vec<AtomicU32> = (0..33).map(|_| AtomicU32::new(0)).collect();
+            pool.for_each(33, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads = {threads}"
+            );
+            // And the pool stays usable for collecting calls after.
+            assert_eq!(pool.map(3, |i| i), vec![0, 1, 2]);
+        }
     }
 
     #[test]
