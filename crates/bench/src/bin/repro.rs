@@ -3,9 +3,9 @@
 //! ```text
 //! repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N]
 //!       [--env flat|hierarchical] [--nodes N]
-//!       [--selector round-robin|least-loaded|policy]
+//!       [--selector round-robin|least-loaded|policy|fcfs|easy|conservative]
 //!       [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered]
-//!       [--chunk-width W] [--reps N]
+//!       [--chunk-width W] [--walltime-err F] [--reps N]
 //!       [--out DIR] <command>
 //!
 //! commands:
@@ -48,7 +48,14 @@
 //! `--selector policy` first trains an RL placement agent on
 //! same-kind traces (reward = the realized simulation, see
 //! `hrp_cluster::place`) and reports it beside the round-robin and
-//! least-loaded rows. With `--nodes 1` the multi-node path reproduces
+//! least-loaded rows, while `--selector easy` (or `conservative`)
+//! runs the slot-tree backfilling planner (see
+//! `hrp_cluster::backfill`) and reports it beside the strict-FCFS
+//! row and the other backfill policy. `--walltime-err F` (default 0,
+//! valid range `[0, 1)`) perturbs the walltime *estimates* the
+//! planner schedules against by up to ±F of the true duration — the
+//! simulated runtimes themselves never change. With `--nodes 1` the
+//! multi-node path reproduces
 //! the single-node simulator bit-for-bit, and the merged timeline —
 //! and the trained policy — are identical for any `--threads` value.
 //! `--chunk-width W` switches the `cluster` command's run (and sets
@@ -61,9 +68,10 @@
 //!
 //! Malformed invocations (unknown flags or commands, missing or
 //! unparsable values, `--shards 0`, `--nodes 0`, `--chunk-width 0`
-//! (or negative/non-finite), `--reps 0`,
-//! `--env`/`--selector`/`--trace` typos) exit with status 2 and a
-//! usage message rather than panicking or silently defaulting.
+//! (or negative/non-finite), `--walltime-err` outside `[0, 1)` (or
+//! NaN), `--reps 0`, `--env`/`--selector`/`--trace` typos) exit with
+//! status 2 and a usage message rather than panicking or silently
+//! defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -104,6 +112,8 @@ struct Options {
     /// Chunked-engine width for `cluster`/`bench-cluster` (`None` =
     /// barrier mode for `cluster`, 64 s for `bench-cluster`).
     chunk_width: Option<f64>,
+    /// Walltime-estimate error fraction for the backfill selectors.
+    walltime_err: f64,
     /// `bench-cluster` repetitions (`0` = the mode default).
     reps: usize,
 }
@@ -136,9 +146,10 @@ impl Options {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap] [--shards N] \
-[--env flat|hierarchical] [--nodes N] [--selector round-robin|least-loaded|policy] \
+[--env flat|hierarchical] [--nodes N] \
+[--selector round-robin|least-loaded|policy|fcfs|easy|conservative] \
 [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered] \
-[--chunk-width W] [--reps N] \
+[--chunk-width W] [--walltime-err F] [--reps N] \
 [--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
           overhead oracle cluster bench-cluster
@@ -180,6 +191,7 @@ fn main() {
         selector: SelectorKind::RoundRobin,
         trace: TraceKind::Staggered,
         chunk_width: None,
+        walltime_err: 0.0,
         reps: 0,
     };
     let mut cmd: Option<&str> = None;
@@ -223,7 +235,8 @@ fn main() {
                 opts.selector = SelectorKind::parse(raw).unwrap_or_else(|bad| {
                     fail(&format!(
                         "unknown --selector value '{bad}' \
-                         (expected 'round-robin', 'least-loaded', or 'policy')"
+                         (expected 'round-robin', 'least-loaded', 'policy', \
+                         'fcfs', 'easy', or 'conservative')"
                     ))
                 });
             }
@@ -236,6 +249,17 @@ fn main() {
                     ));
                 }
                 opts.chunk_width = Some(w);
+            }
+            "--walltime-err" => {
+                let raw = flag_value(&mut it, "--walltime-err");
+                let f: f64 = parse_flag("--walltime-err", raw);
+                // NaN fails the containment check too; reject it
+                // alongside the out-of-range values rather than
+                // silently defaulting.
+                if !(0.0..1.0).contains(&f) {
+                    fail(&format!("--walltime-err must be in [0, 1) (got '{raw}')"));
+                }
+                opts.walltime_err = f;
             }
             "--reps" => {
                 let raw = flag_value(&mut it, "--reps");
@@ -605,18 +629,31 @@ fn oracle_cmd(suite: &Suite, opts: &Options) {
 
 fn cluster_cmd(suite: &Suite, opts: &Options) {
     use hrp_bench::cluster::{evaluation_trace, placement_comparison, ComparisonOptions};
-    let n_jobs = if opts.quick { 48 } else { 144 };
+    // 96 jobs even under --quick: shorter traces leave the backfill
+    // selectors too few blocked gangs to be distinguishable from FCFS.
+    let n_jobs = if opts.quick { 96 } else { 144 };
     let jobs = evaluation_trace(suite, opts.trace, n_jobs, opts.seed);
-    // A policy run always shows the heuristics it is measured against;
-    // a heuristic run shows just the requested row.
-    let kinds: Vec<SelectorKind> = if opts.selector == SelectorKind::Policy {
-        vec![
+    // A policy run always shows the heuristics it is measured against,
+    // and a backfilling run the other backfill policies; the requested
+    // selector is always the last (focus) row. A plain heuristic run
+    // shows just the requested row.
+    let kinds: Vec<SelectorKind> = match opts.selector {
+        SelectorKind::Policy => vec![
             SelectorKind::RoundRobin,
             SelectorKind::LeastLoaded,
             SelectorKind::Policy,
-        ]
-    } else {
-        vec![opts.selector]
+        ],
+        SelectorKind::Easy => vec![
+            SelectorKind::Fcfs,
+            SelectorKind::Conservative,
+            SelectorKind::Easy,
+        ],
+        SelectorKind::Conservative => vec![
+            SelectorKind::Fcfs,
+            SelectorKind::Easy,
+            SelectorKind::Conservative,
+        ],
+        other => vec![other],
     };
     let cmp = placement_comparison(
         suite,
@@ -629,15 +666,18 @@ fn cluster_cmd(suite: &Suite, opts: &Options) {
             quick: opts.quick,
             threads: opts.threads,
             chunk_width: opts.chunk_width,
+            walltime_err: opts.walltime_err,
         },
     );
     println!(
-        "# cluster: {} node(s) x {} GPUs, selector {}, trace {}, {} jobs",
+        "# cluster: {} node(s) x {} GPUs, selector {}, trace {}, {} jobs, \
+         walltime-err {}",
         opts.nodes,
         hrp_bench::cluster::GPUS_PER_NODE,
         opts.selector.name(),
         opts.trace.name(),
-        n_jobs
+        n_jobs,
+        opts.walltime_err
     );
     if let Some((agent, report)) = &cmp.training {
         println!(

@@ -22,7 +22,10 @@ use hrp_cluster::multinode::{MultiNodeReport, MultiNodeSim};
 use hrp_cluster::place::{train_placement, PlacementAgent, PlacementConfig};
 use hrp_cluster::sim::ClusterSim;
 use hrp_cluster::trace::{generate, TraceConfig, TraceKind, EVAL_SEED_OFFSET};
-use hrp_cluster::{ClusterJob, ClusterReport, CoSchedulingDispatcher, SelectorKind};
+use hrp_cluster::{
+    BackfillPlanner, BackfillPolicy, ClusterJob, ClusterReport, CoSchedulingDispatcher,
+    SelectorKind,
+};
 use hrp_core::policies::MpsOnly;
 use hrp_core::train::TrainReport;
 use hrp_workloads::Suite;
@@ -40,8 +43,23 @@ pub fn node_dispatcher() -> CoSchedulingDispatcher<MpsOnly> {
     CoSchedulingDispatcher::new(MpsOnly, CLUSTER_W, CLUSTER_CMAX)
 }
 
+/// A fresh node-local backfilling planner at the evaluation geometry
+/// (the dispatcher behind `repro cluster --selector
+/// fcfs|easy|conservative`).
+#[must_use]
+pub fn backfill_dispatcher(policy: BackfillPolicy, walltime_err: f64) -> BackfillPlanner {
+    BackfillPlanner::new(policy, GPUS_PER_NODE).with_walltime_err(walltime_err)
+}
+
+/// Share of single-GPU jobs the evaluation traces widen into gangs
+/// (see [`TraceConfig::gang_share`]). Gangs block queue heads, which
+/// is the load shape the backfill selectors exist for — an all-narrow
+/// trace schedules identically under every backfill policy.
+pub const EVAL_GANG_SHARE: f64 = 0.25;
+
 /// The evaluation trace for `repro cluster`: `n_jobs` jobs of the
-/// given kind at the evaluation GPU bound. The seed is offset from the
+/// given kind at the evaluation GPU bound, with [`EVAL_GANG_SHARE`] of
+/// the narrow jobs widened into gangs. The seed is offset from the
 /// training-trace stream, so for the seeded kinds a trained policy
 /// never evaluates on a trace it trained on. The exception is
 /// [`TraceKind::Staggered`], which is seed-independent by design (one
@@ -56,7 +74,9 @@ pub fn evaluation_trace(
 ) -> Vec<ClusterJob> {
     generate(
         suite,
-        &TraceConfig::new(kind, n_jobs, seed ^ EVAL_SEED_OFFSET).max_gpus(GPUS_PER_NODE),
+        &TraceConfig::new(kind, n_jobs, seed ^ EVAL_SEED_OFFSET)
+            .max_gpus(GPUS_PER_NODE)
+            .gang_share(EVAL_GANG_SHARE),
     )
 }
 
@@ -81,6 +101,8 @@ pub fn policy_train_config(
     cfg.node_cmax = CLUSTER_CMAX;
     cfg.trace.kind = kind;
     cfg.trace.seed = seed;
+    // Train on the distribution the evaluation trace is drawn from.
+    cfg.trace.gang_share = EVAL_GANG_SHARE;
     cfg.seed = seed;
     cfg
 }
@@ -144,6 +166,33 @@ pub fn compare_row(
     }
 }
 
+/// A backfill comparison row: `jobs` under least-loaded placement
+/// with every node running a [`BackfillPlanner`] of the given policy
+/// over `opts.walltime_err`-noisy estimates. Engine/thread knobs come
+/// from `opts` exactly as in [`compare_row`].
+#[must_use]
+pub fn compare_backfill_row(
+    suite: &Suite,
+    jobs: &[ClusterJob],
+    policy: BackfillPolicy,
+    opts: ComparisonOptions,
+    baseline: ClusterReport,
+) -> ClusterComparison {
+    let mut sim = MultiNodeSim::new(opts.nodes, GPUS_PER_NODE).with_threads(opts.threads);
+    if let Some(width) = opts.chunk_width {
+        sim = sim.with_chunk_width(width);
+    }
+    let mut selector = hrp_cluster::BackfillTier::new(policy);
+    let report = sim.run(suite, jobs.to_vec(), &mut selector, |_| {
+        backfill_dispatcher(policy, opts.walltime_err)
+    });
+    ClusterComparison {
+        selector: policy.name().to_owned(),
+        report,
+        baseline,
+    }
+}
+
 /// [`compare_row`] with the baseline computed on the spot (one-row
 /// callers).
 #[must_use]
@@ -185,6 +234,9 @@ pub struct ComparisonOptions {
     /// Chunk width of the chunked optimistic engine; `None` keeps the
     /// per-instant barrier. Results are identical either way.
     pub chunk_width: Option<f64>,
+    /// Walltime-estimate error fraction (`[0, 1)`) the backfill rows
+    /// schedule under; ignored by the non-backfill selectors.
+    pub walltime_err: f64,
 }
 
 /// Run `jobs` under each selector in `kinds` (training a placement
@@ -224,6 +276,8 @@ pub fn placement_comparison(
                     opts.chunk_width,
                     baseline.clone(),
                 )
+            } else if let Some(policy) = kind.backfill_policy() {
+                compare_backfill_row(suite, jobs, policy, opts, baseline.clone())
             } else {
                 let mut sel = kind.build();
                 compare_row(
@@ -290,6 +344,78 @@ mod tests {
         );
         assert_eq!(barrier.report.aggregate, chunked.report.aggregate);
         assert!(chunked.report.sync.sync_rounds < barrier.report.sync.sync_rounds);
+    }
+
+    fn quick_opts(walltime_err: f64) -> ComparisonOptions {
+        ComparisonOptions {
+            nodes: 4,
+            seed: 42,
+            quick: true,
+            threads: 1,
+            chunk_width: None,
+            walltime_err,
+        }
+    }
+
+    #[test]
+    fn backfilling_beats_plain_fcfs_on_bursty_and_skewed() {
+        // The acceptance bar: EASY and conservative backfilling both
+        // produce strictly shorter makespans than strict FCFS on the
+        // bursty and skewed evaluation traces — with exact estimates
+        // and with ±25 % walltime error.
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        for kind in [TraceKind::Bursty, TraceKind::Skewed] {
+            let jobs = evaluation_trace(&suite, kind, 96, 42);
+            let baseline = single_node_baseline(&suite, &jobs);
+            for err in [0.0, 0.25] {
+                let opts = quick_opts(err);
+                let fcfs = compare_backfill_row(
+                    &suite,
+                    &jobs,
+                    BackfillPolicy::Fcfs,
+                    opts,
+                    baseline.clone(),
+                );
+                for policy in [BackfillPolicy::Easy, BackfillPolicy::Conservative] {
+                    let row = compare_backfill_row(&suite, &jobs, policy, opts, baseline.clone());
+                    assert_eq!(row.report.completed_jobs(), 96);
+                    assert!(
+                        row.report.aggregate.makespan < fcfs.report.aggregate.makespan,
+                        "{} (err {err}) must beat fcfs on {}: {} vs {}",
+                        policy.name(),
+                        kind.name(),
+                        row.report.aggregate.makespan,
+                        fcfs.report.aggregate.makespan
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn easy_backfills_gangs_and_beats_fcfs_on_the_colocate_trace() {
+        // The ROADMAP gang-scheduling regression at the baseline
+        // level: the colocate trace mixes 2-GPU gangs with narrow
+        // jobs, and the slot-tree planner backfills *across* the holes
+        // gang waits open up — strict FCFS cannot.
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let jobs = evaluation_trace(&suite, TraceKind::Colocate, 96, 42);
+        assert!(
+            jobs.iter().any(|j| j.gpus > 1),
+            "colocate trace must contain gangs"
+        );
+        let baseline = single_node_baseline(&suite, &jobs);
+        let opts = quick_opts(0.0);
+        let fcfs =
+            compare_backfill_row(&suite, &jobs, BackfillPolicy::Fcfs, opts, baseline.clone());
+        let easy = compare_backfill_row(&suite, &jobs, BackfillPolicy::Easy, opts, baseline);
+        assert_eq!(easy.report.completed_jobs(), 96);
+        assert!(
+            easy.report.aggregate.makespan < fcfs.report.aggregate.makespan,
+            "easy must beat fcfs on colocate: {} vs {}",
+            easy.report.aggregate.makespan,
+            fcfs.report.aggregate.makespan
+        );
     }
 
     #[test]

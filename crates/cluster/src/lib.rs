@@ -31,6 +31,14 @@
 //!   ([`place::PlacementExperiment`]);
 //! * [`fcfs`] — First-Come-First-Serve with conservative backfilling
 //!   (the comparator the paper names);
+//! * [`slots`] — the slot tree: free-GPU capacity as a coalesced step
+//!   function over the timeline ([`slots::TreeSlotSet`]), the profile
+//!   every backfilling decision plans against;
+//! * [`backfill`] — the slot-tree backfilling planner
+//!   ([`backfill::BackfillPlanner`]): FCFS / EASY / conservative
+//!   policies over per-job walltime *estimates* (which may over- or
+//!   under-run the truth), advance reservations that pin future
+//!   windows, and the [`backfill::QueueOrder`] queue-reordering hook;
 //! * [`cosched`] — the co-scheduling dispatcher: single-GPU jobs are
 //!   batched into windows and handed to any node-local
 //!   [`hrp_core::policies::Policy`]; multi-GPU jobs gang-schedule
@@ -47,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backfill;
 pub mod cosched;
 pub mod fcfs;
 pub mod job;
@@ -54,8 +63,10 @@ pub mod multinode;
 pub mod place;
 pub mod select;
 pub mod sim;
+pub mod slots;
 pub mod trace;
 
+pub use backfill::{BackfillPlanner, BackfillPolicy, QueueOrder};
 pub use cosched::CoSchedulingDispatcher;
 pub use fcfs::FcfsBackfill;
 pub use job::ClusterJob;
@@ -63,6 +74,7 @@ pub use multinode::{ClusterDrive, ClusterTimeline, MultiNodeReport, MultiNodeSim
 pub use place::{
     train_placement, ClusterEnv, PlacementAgent, PlacementConfig, PlacementExperiment,
 };
-pub use select::{select_policy, NodeSelector, PressurePolicy, SelectorKind};
+pub use select::{select_policy, BackfillTier, NodeSelector, PressurePolicy, SelectorKind};
 pub use sim::{ClusterReport, ClusterSim, NodeEvent};
+pub use slots::TreeSlotSet;
 pub use trace::{TraceConfig, TraceKind};

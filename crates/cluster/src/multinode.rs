@@ -577,6 +577,7 @@ pub struct MultiNodeSim {
     pool: Option<Arc<WorkerPool>>,
     epoch_spawn: bool,
     chunk_width: Option<f64>,
+    queue_order: crate::backfill::QueueOrder,
 }
 
 impl MultiNodeSim {
@@ -592,6 +593,7 @@ impl MultiNodeSim {
             pool: None,
             epoch_spawn: false,
             chunk_width: None,
+            queue_order: crate::backfill::QueueOrder::Arrival,
         }
     }
 
@@ -645,6 +647,18 @@ impl MultiNodeSim {
         self
     }
 
+    /// The queue-reordering hook: reorder simultaneous arrivals with
+    /// `order` before either engine sees them, so a backfilling
+    /// planner (or the RL layer) owns dispatch order within a burst.
+    /// The reorder happens once on the sorted trace — upstream of the
+    /// barrier/chunked split — so the two engines stay bit-identical
+    /// oracles of each other for every order.
+    #[must_use]
+    pub fn with_queue_order(mut self, order: crate::backfill::QueueOrder) -> Self {
+        self.queue_order = order;
+        self
+    }
+
     /// Run a global job trace through the cluster: `selector` routes
     /// each arrival to a node, `make_dispatcher(node)` builds the
     /// node-local dispatcher.
@@ -674,8 +688,10 @@ impl MultiNodeSim {
             );
         }
         // Stable by arrival: simultaneous submissions keep their order,
-        // exactly like the single-node simulator.
+        // exactly like the single-node simulator. The queue-order hook
+        // then reorders *within* each same-instant burst only.
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        self.queue_order.apply(suite, &mut jobs);
 
         let local_pool;
         let fanout = if let Some(pool) = &self.pool {

@@ -58,6 +58,7 @@
 //! same container style as `hrp-core`'s `Experiment` (`HRPP` magic),
 //! reloading to bit-identical placements.
 
+use crate::backfill::{BackfillPlanner, BackfillPolicy, QueueOrder};
 use crate::cosched::CoSchedulingDispatcher;
 use crate::job::ClusterJob;
 use crate::multinode::{ClusterDrive, MultiNodeReport};
@@ -279,10 +280,55 @@ impl<D: Dispatcher + Send> Env for ClusterEnv<'_, D> {
     }
 }
 
-/// The node-local dispatcher the placement stack simulates on every
-/// node: window co-scheduling with the MPS-only node policy (cheap —
-/// no node-level training required).
+/// The legacy node-local dispatcher: window co-scheduling with the
+/// MPS-only node policy (cheap — no node-level training required).
+/// [`PlacementConfig::node_dispatcher`] now returns the
+/// [`PlacementDispatcher`] wrapper so the RL layer can also act
+/// *through* a backfilling planner.
 pub type NodeDispatcher = CoSchedulingDispatcher<MpsOnly>;
+
+/// The node-local dispatcher a [`PlacementConfig`] selects: the
+/// co-scheduling window dispatcher, or a slot-tree backfilling
+/// planner — the knob that lets the RL agent parameterize the
+/// classical scheduler it places jobs *through*
+/// ([`PlacementConfig::backfill`] / [`PlacementConfig::walltime_err`]
+/// / [`PlacementConfig::queue_order`]).
+#[derive(Clone)]
+pub enum PlacementDispatcher {
+    /// Window co-scheduling with the MPS-only node policy.
+    CoSched(NodeDispatcher),
+    /// Slot-tree backfilling ([`crate::backfill`]).
+    Backfill(BackfillPlanner),
+}
+
+impl Dispatcher for PlacementDispatcher {
+    fn name(&self) -> &'static str {
+        match self {
+            Self::CoSched(d) => d.name(),
+            Self::Backfill(d) => d.name(),
+        }
+    }
+
+    fn next_placement(
+        &mut self,
+        suite: &Suite,
+        waiting: &[ClusterJob],
+        free_gpus: usize,
+        now: f64,
+    ) -> Option<crate::sim::Placement> {
+        match self {
+            Self::CoSched(d) => d.next_placement(suite, waiting, free_gpus, now),
+            Self::Backfill(d) => d.next_placement(suite, waiting, free_gpus, now),
+        }
+    }
+
+    fn next_wakeup(&self, now: f64) -> Option<f64> {
+        match self {
+            Self::CoSched(d) => d.next_wakeup(now),
+            Self::Backfill(d) => d.next_wakeup(now),
+        }
+    }
+}
 
 /// Stamps out [`ClusterEnv`] episodes over job traces: the
 /// episode-invariant pieces (suite, cluster geometry, dispatcher
@@ -416,6 +462,17 @@ pub struct PlacementConfig {
     pub overlap: bool,
     /// Replay shards.
     pub shards: usize,
+    /// Node-local backfilling policy, or `None` for the legacy
+    /// co-scheduling dispatcher. This is the planner-parameterization
+    /// action of the ISSUE's RL split: the policy fixes the
+    /// reservation depth ([`BackfillPolicy::depth_and_backfill`]).
+    pub backfill: Option<BackfillPolicy>,
+    /// Walltime-estimate error fraction for backfilling nodes
+    /// (`[0, 1)`; ignored without [`PlacementConfig::backfill`]).
+    pub walltime_err: f64,
+    /// How simultaneous arrivals are ordered before episodes and
+    /// deployments see them (the queue-order pick).
+    pub queue_order: QueueOrder,
 }
 
 impl PlacementConfig {
@@ -446,6 +503,9 @@ impl PlacementConfig {
             rollout_round: 8,
             overlap: false,
             shards: 1,
+            backfill: None,
+            walltime_err: 0.0,
+            queue_order: QueueOrder::Arrival,
         }
     }
 
@@ -486,10 +546,22 @@ impl PlacementConfig {
         }
     }
 
-    /// A fresh node-local dispatcher with this config's window knobs.
+    /// A fresh node-local dispatcher for this config: a backfilling
+    /// planner when [`PlacementConfig::backfill`] is set, the window
+    /// co-scheduling dispatcher otherwise.
     #[must_use]
-    pub fn node_dispatcher(&self) -> NodeDispatcher {
-        CoSchedulingDispatcher::new(MpsOnly, self.node_w, self.node_cmax)
+    pub fn node_dispatcher(&self) -> PlacementDispatcher {
+        match self.backfill {
+            None => PlacementDispatcher::CoSched(CoSchedulingDispatcher::new(
+                MpsOnly,
+                self.node_w,
+                self.node_cmax,
+            )),
+            Some(policy) => PlacementDispatcher::Backfill(
+                BackfillPlanner::new(policy, self.gpus_per_node)
+                    .with_walltime_err(self.walltime_err),
+            ),
+        }
     }
 }
 
@@ -512,7 +584,9 @@ pub fn training_traces(suite: &Suite, cfg: &PlacementConfig) -> Vec<Vec<ClusterJ
                 .clone()
                 .seed(trace_seed(cfg.trace.seed, i))
                 .max_gpus(cfg.gpus_per_node);
-            trace::generate(suite, &tc)
+            let mut jobs = trace::generate(suite, &tc);
+            cfg.queue_order.apply(suite, &mut jobs);
+            jobs
         })
         .collect()
 }
@@ -525,12 +599,12 @@ pub fn training_traces(suite: &Suite, cfg: &PlacementConfig) -> Vec<Vec<ClusterJ
 #[must_use]
 pub fn train_placement(suite: &Suite, cfg: PlacementConfig) -> (PlacementAgent, TrainReport) {
     let traces = training_traces(suite, &cfg);
-    let (w, cmax) = (cfg.node_w, cfg.node_cmax);
+    let template = cfg.clone();
     let factory = PlacementEnvFactory::new(
         suite,
         cfg.nodes,
         cfg.gpus_per_node,
-        move |_| CoSchedulingDispatcher::new(MpsOnly, w, cmax),
+        move |_| template.node_dispatcher(),
         cfg.rf_weight,
         cfg.trace.jobs,
     );
@@ -595,12 +669,16 @@ impl PlacementAgent {
     /// configured nodes.
     #[must_use]
     pub fn greedy_placements(&self, suite: &Suite, trace: &[ClusterJob]) -> PlacementOutcome {
+        // The config's queue-order pick applies to episodes exactly as
+        // MultiNodeSim::with_queue_order applies it to deployments.
+        let mut trace = trace.to_vec();
+        self.cfg.queue_order.apply(suite, &mut trace);
         let make = |_: usize| self.cfg.node_dispatcher();
         let env = ClusterEnv::new(
             suite,
             self.cfg.nodes,
             self.cfg.gpus_per_node,
-            trace,
+            &trace,
             &make,
             self.cfg.rf_weight,
         );
@@ -820,6 +898,7 @@ fn encode_spec(cfg: &PlacementConfig) -> String {
     kv("trace.seed", cfg.trace.seed.to_string());
     kv("trace.max_gpus", cfg.trace.max_gpus.to_string());
     kv("trace.mean_gap", format!("{:?}", cfg.trace.mean_gap));
+    kv("trace.gang_share", format!("{:?}", cfg.trace.gang_share));
     kv("n_traces", cfg.n_traces.to_string());
     kv("episodes", cfg.episodes.to_string());
     kv("hidden", hidden.join(","));
@@ -837,6 +916,13 @@ fn encode_spec(cfg: &PlacementConfig) -> String {
     kv("rollout_round", cfg.rollout_round.to_string());
     kv("overlap", cfg.overlap.to_string());
     kv("shards", cfg.shards.to_string());
+    kv(
+        "backfill",
+        cfg.backfill
+            .map_or_else(|| "none".to_string(), |p| p.name().to_string()),
+    );
+    kv("walltime_err", format!("{:?}", cfg.walltime_err));
+    kv("queue_order", cfg.queue_order.name().to_string());
     s
 }
 
@@ -879,6 +965,15 @@ fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
     };
     let kind = TraceKind::parse(get(&map, "trace.kind")?)
         .map_err(|bad| CheckpointError::Spec(format!("unknown trace kind '{bad}'")))?;
+    let backfill = match get(&map, "backfill")? {
+        "none" => None,
+        raw => Some(
+            BackfillPolicy::parse(raw)
+                .map_err(|bad| CheckpointError::Spec(format!("unknown backfill policy '{bad}'")))?,
+        ),
+    };
+    let queue_order = QueueOrder::parse(get(&map, "queue_order")?)
+        .map_err(|bad| CheckpointError::Spec(format!("unknown queue order '{bad}'")))?;
 
     Ok(PlacementConfig {
         nodes: parse("nodes", get(&map, "nodes")?)?,
@@ -891,6 +986,7 @@ fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
             seed: parse("trace.seed", get(&map, "trace.seed")?)?,
             max_gpus: parse("trace.max_gpus", get(&map, "trace.max_gpus")?)?,
             mean_gap: parse("trace.mean_gap", get(&map, "trace.mean_gap")?)?,
+            gang_share: parse("trace.gang_share", get(&map, "trace.gang_share")?)?,
         },
         n_traces: parse("n_traces", get(&map, "n_traces")?)?,
         episodes: parse("episodes", get(&map, "episodes")?)?,
@@ -909,6 +1005,9 @@ fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
         rollout_round: parse("rollout_round", get(&map, "rollout_round")?)?,
         overlap: parse("overlap", get(&map, "overlap")?)?,
         shards: parse("shards", get(&map, "shards")?)?,
+        backfill,
+        walltime_err: parse("walltime_err", get(&map, "walltime_err")?)?,
+        queue_order,
     })
 }
 
@@ -1121,18 +1220,46 @@ mod tests {
     }
 
     #[test]
+    fn backfill_parameterized_env_matches_deployment() {
+        // Same equivalence with the planner parameterized: EASY
+        // backfilling nodes, noisy walltime estimates, and a
+        // non-default queue order must all flow through both paths
+        // identically.
+        let s = suite();
+        let mut cfg = PlacementConfig::quick();
+        cfg.backfill = Some(BackfillPolicy::Easy);
+        cfg.walltime_err = 0.25;
+        cfg.queue_order = QueueOrder::ShortestFirst;
+        let agent = PlacementAgent::untrained(cfg.clone());
+        let t = skewed_trace(&s, 20, 9);
+        let outcome = agent.greedy_placements(&s, &t);
+        let mut sel = agent.selector();
+        let direct = MultiNodeSim::new(cfg.nodes, cfg.gpus_per_node)
+            .with_queue_order(cfg.queue_order)
+            .run(&s, t.clone(), &mut sel, |_| cfg.node_dispatcher());
+        assert_eq!(outcome.report.unwrap(), direct);
+    }
+
+    #[test]
     fn spec_round_trips_every_field() {
         let mut cfg = PlacementConfig::default_cfg();
         cfg.trace = TraceConfig::new(TraceKind::HeavyTail, 48, 7)
             .max_gpus(4)
-            .mean_gap(2.25);
+            .mean_gap(2.25)
+            .gang_share(0.5);
         cfg.overlap = true;
         cfg.shards = 4;
         cfg.lr = 3.3e-4;
         cfg.rf_weight = 0.125;
         cfg.hidden = vec![48, 24];
+        cfg.backfill = Some(BackfillPolicy::Conservative);
+        cfg.walltime_err = 0.375;
+        cfg.queue_order = QueueOrder::WidestFirst;
         let decoded = decode_spec(&encode_spec(&cfg)).unwrap();
         assert_eq!(decoded, cfg);
+        // The default (no backfill, arrival order) round-trips too.
+        let plain = PlacementConfig::default_cfg();
+        assert_eq!(decode_spec(&encode_spec(&plain)).unwrap(), plain);
     }
 
     #[test]

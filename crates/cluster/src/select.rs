@@ -101,11 +101,47 @@ pub enum SelectorKind {
     /// cannot construct it — callers train via
     /// `place::train_placement` and deploy `PlacementAgent::selector`.
     Policy,
+    /// Least-loaded placement over strict-FCFS backfilling planners
+    /// ([`crate::backfill::BackfillPolicy::Fcfs`] per node).
+    Fcfs,
+    /// Least-loaded placement over EASY-backfilling planners
+    /// ([`crate::backfill::BackfillPolicy::Easy`] per node).
+    Easy,
+    /// Least-loaded placement over conservative-backfilling planners
+    /// ([`crate::backfill::BackfillPolicy::Conservative`] per node).
+    Conservative,
+}
+
+/// [`LeastLoaded`] placement labeled by the backfill policy its rows
+/// run under, so `repro cluster` rows read `fcfs` / `easy` /
+/// `conservative` — the node-*local* planner is what differs, not the
+/// global tier.
+#[derive(Debug, Clone, Copy)]
+pub struct BackfillTier {
+    policy: crate::backfill::BackfillPolicy,
+}
+
+impl BackfillTier {
+    /// Least-loaded placement for nodes running `policy` planners.
+    #[must_use]
+    pub fn new(policy: crate::backfill::BackfillPolicy) -> Self {
+        Self { policy }
+    }
+}
+
+impl NodeSelector for BackfillTier {
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn select(&mut self, gpus: usize, work: f64, loads: &[NodeLoad]) -> usize {
+        LeastLoaded.select(gpus, work, loads)
+    }
 }
 
 impl SelectorKind {
     /// Parse a CLI-style name (`round-robin` / `least-loaded` /
-    /// `policy`).
+    /// `policy` / `fcfs` / `easy` / `conservative`).
     ///
     /// # Errors
     /// Returns the unrecognised input.
@@ -114,6 +150,9 @@ impl SelectorKind {
             "round-robin" | "rr" => Ok(Self::RoundRobin),
             "least-loaded" | "ll" => Ok(Self::LeastLoaded),
             "policy" | "rl" => Ok(Self::Policy),
+            "fcfs" => Ok(Self::Fcfs),
+            "easy" => Ok(Self::Easy),
+            "conservative" => Ok(Self::Conservative),
             other => Err(other.to_owned()),
         }
     }
@@ -125,6 +164,9 @@ impl SelectorKind {
             Self::RoundRobin => "round-robin",
             Self::LeastLoaded => "least-loaded",
             Self::Policy => "policy",
+            Self::Fcfs => "fcfs",
+            Self::Easy => "easy",
+            Self::Conservative => "conservative",
         }
     }
 
@@ -133,6 +175,19 @@ impl SelectorKind {
     #[must_use]
     pub fn needs_training(self) -> bool {
         matches!(self, Self::Policy)
+    }
+
+    /// The node-local backfilling policy this kind schedules through,
+    /// if it is one of the backfill tiers. `None` for the kinds whose
+    /// nodes run the co-scheduling dispatcher.
+    #[must_use]
+    pub fn backfill_policy(self) -> Option<crate::backfill::BackfillPolicy> {
+        match self {
+            Self::Fcfs => Some(crate::backfill::BackfillPolicy::Fcfs),
+            Self::Easy => Some(crate::backfill::BackfillPolicy::Easy),
+            Self::Conservative => Some(crate::backfill::BackfillPolicy::Conservative),
+            _ => None,
+        }
     }
 
     /// Build a fresh heuristic selector of this kind.
@@ -150,6 +205,9 @@ impl SelectorKind {
                 "SelectorKind::Policy needs a trained snapshot; \
                  train via hrp_cluster::place::train_placement"
             ),
+            Self::Fcfs | Self::Easy | Self::Conservative => Box::new(BackfillTier::new(
+                self.backfill_policy().expect("backfill tier"),
+            )),
         }
     }
 }
@@ -227,7 +285,13 @@ mod tests {
             SelectorKind::parse("least-busy"),
             Err("least-busy".to_owned())
         );
-        for kind in [SelectorKind::RoundRobin, SelectorKind::LeastLoaded] {
+        for kind in [
+            SelectorKind::RoundRobin,
+            SelectorKind::LeastLoaded,
+            SelectorKind::Fcfs,
+            SelectorKind::Easy,
+            SelectorKind::Conservative,
+        ] {
             assert_eq!(SelectorKind::parse(kind.name()), Ok(kind));
             assert_eq!(kind.build().name(), kind.name());
             assert!(!kind.needs_training());
@@ -243,5 +307,28 @@ mod tests {
     #[should_panic(expected = "needs a trained snapshot")]
     fn policy_kind_cannot_be_built_untrained() {
         let _ = SelectorKind::Policy.build();
+    }
+
+    #[test]
+    fn backfill_tiers_place_like_least_loaded() {
+        use crate::backfill::BackfillPolicy;
+        assert_eq!(
+            SelectorKind::Easy.backfill_policy(),
+            Some(BackfillPolicy::Easy)
+        );
+        assert_eq!(
+            SelectorKind::Conservative.backfill_policy(),
+            Some(BackfillPolicy::Conservative)
+        );
+        assert_eq!(
+            SelectorKind::Fcfs.backfill_policy(),
+            Some(BackfillPolicy::Fcfs)
+        );
+        assert_eq!(SelectorKind::LeastLoaded.backfill_policy(), None);
+        let mut tier = BackfillTier::new(BackfillPolicy::Easy);
+        let mut ll = LeastLoaded;
+        let l = loads(&[9.0, 2.0, 5.0]);
+        assert_eq!(tier.select(1, 1.0, &l), ll.select(1, 1.0, &l));
+        assert_eq!(tier.name(), "easy");
     }
 }

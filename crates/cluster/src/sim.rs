@@ -70,6 +70,16 @@ pub trait Dispatcher {
         free_gpus: usize,
         now: f64,
     ) -> Option<Placement>;
+
+    /// Earliest future instant the dispatcher wants to be consulted
+    /// again even though no job event falls there. A backfilling
+    /// planner holding an advance reservation returns its expiry —
+    /// otherwise an idle node with a blocked queue would never wake.
+    /// The default (`None`, for purely event-driven dispatchers)
+    /// leaves the simulator's behaviour untouched.
+    fn next_wakeup(&self, _now: f64) -> Option<f64> {
+        None
+    }
 }
 
 /// What happened at one point of a node's simulated timeline.
@@ -394,7 +404,20 @@ impl<D: Dispatcher> NodeRun<D> {
                 .map(|(t, _, _)| *t)
                 .fold(f64::INFINITY, f64::min);
             let next_arrival = self.arrivals.front().map_or(f64::INFINITY, |j| j.arrival);
-            let next = next_finish.min(next_arrival);
+            // A strictly-future wakeup hint (e.g. a backfill
+            // reservation expiring) counts as an event: without it a
+            // reservation could wedge an otherwise idle node forever.
+            let wake = self
+                .dispatcher
+                .next_wakeup(self.clock)
+                .map_or(f64::INFINITY, |w| {
+                    if w > self.clock + TIME_EPS {
+                        w
+                    } else {
+                        f64::INFINITY
+                    }
+                });
+            let next = next_finish.min(next_arrival).min(wake);
             if !next.is_finite() {
                 if horizon.is_finite() {
                     break;
@@ -411,6 +434,11 @@ impl<D: Dispatcher> NodeRun<D> {
             }
             self.clock = next;
             self.release_finished();
+            if wake <= next + TIME_EPS {
+                // The wakeup instant arrived: consult the dispatcher
+                // again even though no queue/pool event fired.
+                self.dirty = true;
+            }
         }
     }
 
@@ -450,6 +478,10 @@ impl Dispatcher for DynDispatcher<'_> {
         now: f64,
     ) -> Option<Placement> {
         self.0.next_placement(suite, waiting, free_gpus, now)
+    }
+
+    fn next_wakeup(&self, now: f64) -> Option<f64> {
+        self.0.next_wakeup(now)
     }
 }
 

@@ -1,0 +1,349 @@
+//! A slot tree: free-GPU capacity as a step function over the
+//! timeline.
+//!
+//! [`TreeSlotSet`] keeps the number of free GPUs at every future
+//! instant as a sorted map from segment start time to the capacity
+//! that holds until the next boundary (the classic *slot set* of
+//! batch-scheduler backfilling literature). Claiming a window splits
+//! at most two segments (`O(log n)`) and decrements the segments in
+//! between; releasing restores them; adjacent segments with equal
+//! capacity coalesce back into one, so the tree stays proportional to
+//! the number of *distinct* capacity steps, not the number of
+//! operations.
+//!
+//! The final segment always extends to `+∞` at full capacity — every
+//! claim must have a finite end — so [`TreeSlotSet::earliest_fit`]
+//! always terminates: a window that fits nowhere among the booked
+//! segments fits in the infinite tail.
+//!
+//! ```
+//! use hrp_cluster::slots::TreeSlotSet;
+//!
+//! let mut slots = TreeSlotSet::new(4);
+//! slots.claim(0.0, 10.0, 3); // a 3-GPU placement until t = 10
+//! assert_eq!(slots.capacity_at(5.0), 1);
+//! // A 2-GPU, 4-second window first fits when the placement ends.
+//! assert_eq!(slots.earliest_fit(0.0, 2, 4.0), 10.0);
+//! slots.release(0.0, 10.0, 3);
+//! assert_eq!(slots.earliest_fit(0.0, 2, 4.0), 0.0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Total-order wrapper over `f64` segment boundaries (via
+/// [`f64::total_cmp`]) so times can key a `BTreeMap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Free-GPU capacity over the timeline as a coalesced step function.
+///
+/// See the [module docs](self) for the representation and the
+/// worked example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSlotSet {
+    total: usize,
+    /// Segment start → free capacity until the next boundary. The
+    /// first key is `-∞`; the last segment extends to `+∞` and (by
+    /// the finite-claim rule) always carries `total`.
+    segs: BTreeMap<TimeKey, usize>,
+}
+
+impl TreeSlotSet {
+    /// An empty timeline: `total` GPUs free at every instant.
+    ///
+    /// # Panics
+    /// Panics if `total` is zero.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        assert!(total >= 1, "a slot set needs at least one GPU");
+        let mut segs = BTreeMap::new();
+        segs.insert(TimeKey(f64::NEG_INFINITY), total);
+        Self { total, segs }
+    }
+
+    /// The cluster-wide GPU count the capacity can never exceed.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of capacity segments currently held (a coalescing
+    /// diagnostic: adjacent segments never share a capacity).
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Free capacity at instant `t`.
+    #[must_use]
+    pub fn capacity_at(&self, t: f64) -> usize {
+        *self
+            .segs
+            .range(..=TimeKey(t))
+            .next_back()
+            .expect("first segment starts at -inf")
+            .1
+    }
+
+    /// The segment covering `t`: its capacity and the time the next
+    /// boundary starts (`+∞` for the tail segment).
+    fn segment_at(&self, t: f64) -> (usize, f64) {
+        let cap = self.capacity_at(t);
+        let end = self
+            .segs
+            .range((Excluded(TimeKey(t)), Unbounded))
+            .next()
+            .map_or(f64::INFINITY, |(k, _)| k.0);
+        (cap, end)
+    }
+
+    /// Ensure a boundary exists exactly at `t` (splitting the segment
+    /// covering it), so a range update can start or stop there.
+    fn split(&mut self, t: f64) {
+        let cap = self.capacity_at(t);
+        self.segs.entry(TimeKey(t)).or_insert(cap);
+    }
+
+    /// Remove boundaries in `[start, end]` whose capacity equals the
+    /// preceding segment's, restoring the coalescing invariant after
+    /// a range update.
+    fn coalesce(&mut self, start: f64, end: f64) {
+        let keys: Vec<TimeKey> = self
+            .segs
+            .range(TimeKey(start)..=TimeKey(end))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            let cap = self.segs[&k];
+            let prev = self
+                .segs
+                .range(..k)
+                .next_back()
+                .map(|(_, v)| *v)
+                .expect("first segment starts at -inf");
+            if prev == cap {
+                self.segs.remove(&k);
+            }
+        }
+    }
+
+    /// Subtract `gpus` from every instant of `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or unbounded, or if any covered
+    /// segment has fewer than `gpus` free (the caller double-booked).
+    pub fn claim(&mut self, start: f64, end: f64, gpus: usize) {
+        self.update(start, end, gpus, false);
+    }
+
+    /// Subtract *up to* `gpus` from every instant of `[start, end)`,
+    /// clamping per segment at zero instead of panicking. Used to
+    /// overlay advance reservations onto a release profile that may
+    /// already book the same GPUs.
+    pub fn claim_up_to(&mut self, start: f64, end: f64, gpus: usize) {
+        self.update(start, end, gpus, true);
+    }
+
+    fn update(&mut self, start: f64, end: f64, gpus: usize, clamp: bool) {
+        assert!(
+            start.is_finite() && end.is_finite() && start < end,
+            "claim window [{start}, {end}) must be finite and non-empty"
+        );
+        if gpus == 0 {
+            return;
+        }
+        self.split(start);
+        self.split(end);
+        let keys: Vec<TimeKey> = self
+            .segs
+            .range(TimeKey(start)..TimeKey(end))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            let cap = self.segs.get_mut(&k).expect("key just collected");
+            if clamp {
+                *cap -= gpus.min(*cap);
+            } else {
+                assert!(
+                    *cap >= gpus,
+                    "double-booked: {gpus} GPUs claimed at t = {} with only {cap} free",
+                    k.0
+                );
+                *cap -= gpus;
+            }
+        }
+        self.coalesce(start, end);
+    }
+
+    /// Add `gpus` back to every instant of `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or unbounded, or if the release
+    /// would push any segment above the cluster total (releasing
+    /// capacity that was never claimed).
+    pub fn release(&mut self, start: f64, end: f64, gpus: usize) {
+        assert!(
+            start.is_finite() && end.is_finite() && start < end,
+            "release window [{start}, {end}) must be finite and non-empty"
+        );
+        if gpus == 0 {
+            return;
+        }
+        self.split(start);
+        self.split(end);
+        let keys: Vec<TimeKey> = self
+            .segs
+            .range(TimeKey(start)..TimeKey(end))
+            .map(|(k, _)| *k)
+            .collect();
+        let total = self.total;
+        for k in keys {
+            let cap = self.segs.get_mut(&k).expect("key just collected");
+            assert!(
+                *cap + gpus <= total,
+                "over-release: {gpus} GPUs freed at t = {} with {cap}/{total} already free",
+                k.0
+            );
+            *cap += gpus;
+        }
+        self.coalesce(start, end);
+    }
+
+    /// Earliest `t ≥ after` at which `gpus` GPUs stay free for the
+    /// whole window `[t, t + duration)`.
+    ///
+    /// Run-length scan over the segments: a candidate start slides
+    /// past every blocking segment it meets, and the `+∞`-capacity
+    /// tail guarantees termination.
+    ///
+    /// # Panics
+    /// Panics if `gpus` exceeds the cluster total (no window could
+    /// ever fit) or `duration` is not a positive finite time.
+    #[must_use]
+    pub fn earliest_fit(&self, after: f64, gpus: usize, duration: f64) -> f64 {
+        assert!(
+            gpus <= self.total,
+            "a {gpus}-GPU window can never fit on {} GPUs",
+            self.total
+        );
+        assert!(
+            duration.is_finite() && duration > 0.0 && after.is_finite(),
+            "earliest_fit needs a finite start and positive duration"
+        );
+        if gpus == 0 {
+            return after;
+        }
+        let mut cand = after;
+        loop {
+            let mut t = cand;
+            loop {
+                let (cap, end) = self.segment_at(t);
+                if cap < gpus {
+                    // Blocked: restart just past this segment. `end` is
+                    // finite because the tail holds the full total.
+                    cand = end;
+                    break;
+                }
+                if end >= cand + duration {
+                    return cand;
+                }
+                t = end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_set_is_one_full_segment() {
+        let s = TreeSlotSet::new(4);
+        assert_eq!(s.n_segments(), 1);
+        assert_eq!(s.capacity_at(0.0), 4);
+        assert_eq!(s.capacity_at(1e12), 4);
+        assert_eq!(s.earliest_fit(3.0, 4, 100.0), 3.0);
+    }
+
+    #[test]
+    fn claim_release_round_trip_restores_the_tree() {
+        let mut s = TreeSlotSet::new(4);
+        let fresh = s.clone();
+        s.claim(1.0, 5.0, 2);
+        s.claim(3.0, 8.0, 1);
+        assert_eq!(s.capacity_at(4.0), 1);
+        s.release(3.0, 8.0, 1);
+        s.release(1.0, 5.0, 2);
+        assert_eq!(s, fresh, "round trip must coalesce back to one segment");
+    }
+
+    #[test]
+    fn adjacent_equal_segments_coalesce() {
+        let mut s = TreeSlotSet::new(2);
+        s.claim(0.0, 5.0, 1);
+        s.claim(5.0, 10.0, 1);
+        // [0, 10) at capacity 1 is one segment plus the -inf head and
+        // the tail boundary at 10.
+        assert_eq!(s.n_segments(), 3);
+        assert_eq!(s.capacity_at(5.0), 1);
+    }
+
+    #[test]
+    fn earliest_fit_slides_past_holes_too_short() {
+        let mut s = TreeSlotSet::new(2);
+        // Busy [0, 10) and [12, 20) with both GPUs; the [10, 12) hole
+        // is too short for a 3-second window.
+        s.claim(0.0, 10.0, 2);
+        s.claim(12.0, 20.0, 2);
+        assert_eq!(s.earliest_fit(0.0, 1, 3.0), 20.0);
+        // ... but a 2-second window backfills into the hole.
+        assert_eq!(s.earliest_fit(0.0, 1, 2.0), 10.0);
+    }
+
+    #[test]
+    fn claim_up_to_clamps_at_zero() {
+        let mut s = TreeSlotSet::new(2);
+        s.claim(0.0, 10.0, 2);
+        s.claim_up_to(5.0, 15.0, 1); // [5, 10) already empty: clamps
+        assert_eq!(s.capacity_at(7.0), 0);
+        assert_eq!(s.capacity_at(12.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn over_claim_panics() {
+        let mut s = TreeSlotSet::new(2);
+        s.claim(0.0, 10.0, 2);
+        s.claim(5.0, 6.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn over_release_panics() {
+        let mut s = TreeSlotSet::new(2);
+        s.release(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn unbounded_claims_are_rejected() {
+        let mut s = TreeSlotSet::new(2);
+        s.claim(0.0, f64::INFINITY, 1);
+    }
+}

@@ -122,6 +122,13 @@ pub struct TraceConfig {
     /// Mean inter-arrival gap in seconds (per job; burst kinds spend
     /// the whole burst's budget on the gap after it).
     pub mean_gap: f64,
+    /// Share of single-GPU jobs deterministically widened into
+    /// 2..=`max_gpus`-GPU gangs after generation (`0.0` = off, the
+    /// default — traces are bit-identical to configs predating the
+    /// knob). The widening is a stateless per-job-id hash, so
+    /// [`generate`] and [`stream`] agree and the arrival/mix RNG
+    /// stream is untouched.
+    pub gang_share: f64,
 }
 
 impl TraceConfig {
@@ -135,6 +142,7 @@ impl TraceConfig {
             seed,
             max_gpus: 2,
             mean_gap: 4.0,
+            gang_share: 0.0,
         }
     }
 
@@ -159,6 +167,47 @@ impl TraceConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder: widen a deterministic share of the single-GPU jobs
+    /// into gangs (see the field docs). Gangs give a backfilling
+    /// scheduler head-of-line blocking to work around; all-narrow
+    /// traces schedule identically under every backfill policy.
+    ///
+    /// # Panics
+    /// Panics unless `share` is in `[0, 1]`.
+    #[must_use]
+    pub fn gang_share(mut self, share: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&share),
+            "gang_share must be in [0, 1], got {share}"
+        );
+        self.gang_share = share;
+        self
+    }
+}
+
+/// Splitmix64 — the per-job-id hash behind [`TraceConfig::gang_share`].
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Apply the [`TraceConfig::gang_share`] widening to one job. A pure
+/// function of `(cfg.seed, job.id)` — no generator state — so the
+/// materialising and streaming paths produce identical jobs and the
+/// arrival/mix RNG draws are exactly those of a `gang_share = 0` run.
+fn widen_to_gang(cfg: &TraceConfig, job: &mut ClusterJob) {
+    if cfg.gang_share <= 0.0 || cfg.max_gpus < 2 || job.gpus != 1 {
+        return;
+    }
+    let h = splitmix64(cfg.seed ^ splitmix64(job.id as u64));
+    // 53 high bits → a uniform draw in [0, 1).
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    if u < cfg.gang_share {
+        job.gpus = 2 + (splitmix64(h) % (cfg.max_gpus as u64 - 1)) as usize;
+    }
 }
 
 /// Generate the trace a [`TraceConfig`] describes. Deterministic:
@@ -178,7 +227,7 @@ pub fn generate(suite: &Suite, cfg: &TraceConfig) -> Vec<ClusterJob> {
         cfg.mean_gap
     );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let jobs = match cfg.kind {
+    let mut jobs = match cfg.kind {
         TraceKind::Uniform => uniform(suite, cfg, &mut rng),
         TraceKind::Bursty => bursty(suite, cfg, &mut rng),
         TraceKind::Skewed => skewed(suite, cfg, &mut rng),
@@ -192,6 +241,9 @@ pub fn generate(suite: &Suite, cfg: &TraceConfig) -> Vec<ClusterJob> {
             })
             .collect(),
     };
+    for job in &mut jobs {
+        widen_to_gang(cfg, job);
+    }
     debug_assert_eq!(jobs.len(), cfg.jobs);
     jobs
 }
@@ -452,7 +504,7 @@ impl Iterator for TraceStream<'_> {
         let (suite, cfg, rng) = (self.suite, &self.cfg, &mut self.rng);
         let i = self.next_id;
         let remaining = cfg.jobs - i;
-        let job = match &mut self.state {
+        let mut job = match &mut self.state {
             StreamState::Uniform => {
                 let bench = rng.gen_range(0..suite.len());
                 let job = job_at(suite, i, bench, self.t, 1);
@@ -530,6 +582,7 @@ impl Iterator for TraceStream<'_> {
                 job_at(suite, i, bench, (i / 4) as f64 * 5.0, gpus)
             }
         };
+        widen_to_gang(cfg, &mut job);
         self.next_id += 1;
         Some(job)
     }
@@ -716,6 +769,46 @@ mod tests {
                     .zip(&materialised)
                     .all(|(a, b)| a.arrival.to_bits() == b.arrival.to_bits()));
             }
+        }
+    }
+
+    #[test]
+    fn gang_share_widens_jobs_without_touching_the_arrival_process() {
+        // The widening pass is a stateless per-id hash layered *after*
+        // generation: arrivals, benchmark picks, and job ids must stay
+        // bit-identical to the share-0 trace, only widths may change.
+        let s = suite();
+        for kind in TRACE_KINDS {
+            let base_cfg = TraceConfig::new(kind, 400, 99).max_gpus(4);
+            let gang_cfg = base_cfg.clone().gang_share(0.3);
+            let base = generate(&s, &base_cfg);
+            let gangs = generate(&s, &gang_cfg);
+            // Streaming and materialising agree with the knob on.
+            let streamed: Vec<ClusterJob> = stream(&s, &gang_cfg).collect();
+            assert_eq!(streamed, gangs, "{}", kind.name());
+            let mut widened = 0usize;
+            let mut narrow = 0usize;
+            for (a, b) in base.iter().zip(&gangs) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+                if a.gpus == 1 {
+                    narrow += 1;
+                    if b.gpus != 1 {
+                        assert!((2..=4).contains(&b.gpus), "widened into a gang");
+                        widened += 1;
+                    }
+                } else {
+                    assert_eq!(a.gpus, b.gpus, "only 1-GPU jobs are eligible");
+                }
+            }
+            // The hash is uniform: the widened share lands near 0.3.
+            let got = widened as f64 / narrow.max(1) as f64;
+            assert!(
+                narrow < 50 || (0.15..=0.45).contains(&got),
+                "{}: widened {widened}/{narrow}",
+                kind.name()
+            );
         }
     }
 
