@@ -6,6 +6,8 @@
 //!       [--selector round-robin|least-loaded|policy|fcfs|easy|conservative]
 //!       [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered]
 //!       [--chunk-width W] [--walltime-err F] [--reps N]
+//!       [--source trace|poisson|bursty] [--rate F] [--duration F]
+//!       [--checkpoint PATH] [--restore PATH]
 //!       [--out DIR] <command>
 //!
 //! commands:
@@ -26,9 +28,13 @@
 //!             single-node baseline
 //!   bench-cluster  timing statistics: chunked optimistic vs barrier
 //!             vs serial on large seeded traces; writes BENCH_6.json
+//!   serve     online scheduler service (hrp-serve): streams arrivals
+//!             through incremental decision cycles; the default bench
+//!             mode writes BENCH_8.json, while --source/--checkpoint/
+//!             --restore run one live service with kill/resume
 //!   ablate-reward | ablate-agent | ablate-interference
-//!   all       everything above except bench-cluster (fig8/11/12
-//!             share one training run)
+//!   all       everything above except bench-cluster and serve
+//!             (fig8/11/12 share one training run)
 //! ```
 //!
 //! `--quick` shrinks the network and episode count for smoke runs; the
@@ -66,12 +72,28 @@
 //! harness writes its statistics to `BENCH_6.json` in the working
 //! directory.
 //!
+//! The `serve` command runs the online scheduler service
+//! (`hrp-serve`). With the default `--source trace` and no checkpoint
+//! flags it benches the service — every trace kind × {incremental,
+//! full} cycle mode, digest-checked against the batch oracle — and
+//! writes `BENCH_8.json` (`--reps` overrides the repetition count as
+//! for `bench-cluster`). Any of `--source poisson|bursty` (an
+//! open-loop load generator offering `--rate` jobs per simulated
+//! second until `--duration` seconds), `--checkpoint PATH` (write a
+//! live `HRPS` snapshot mid-run, then keep going), or
+//! `--restore PATH` (rebuild a killed service from its snapshot and
+//! drain it) switches to a single service run reporting one
+//! `serve_run` table and a `# digest` line — a restored run's digest
+//! is bit-identical to the uninterrupted one's.
+//!
 //! Malformed invocations (unknown flags or commands, missing or
 //! unparsable values, `--shards 0`, `--nodes 0`, `--chunk-width 0`
 //! (or negative/non-finite), `--walltime-err` outside `[0, 1)` (or
-//! NaN), `--reps 0`, `--env`/`--selector`/`--trace` typos) exit with
-//! status 2 and a usage message rather than panicking or silently
-//! defaulting.
+//! NaN), `--reps 0`, `--rate`/`--duration` zero, negative, or
+//! non-finite, `--env`/`--selector`/`--trace`/`--source` typos,
+//! `--checkpoint` colliding with `--restore`, `serve --selector
+//! policy`) exit with status 2 and a usage message rather than
+//! panicking or silently defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -86,6 +108,7 @@ use hrp_core::rl::EnvKind;
 use hrp_core::train::TrainConfig;
 use hrp_gpusim::mig::valid_gi_combinations;
 use hrp_gpusim::GpuArch;
+use hrp_serve::LoadShape;
 use hrp_workloads::class::{classify, one_gpc_degradation};
 use hrp_workloads::queue::table_v_category;
 use hrp_workloads::Suite;
@@ -114,8 +137,28 @@ struct Options {
     chunk_width: Option<f64>,
     /// Walltime-estimate error fraction for the backfill selectors.
     walltime_err: f64,
-    /// `bench-cluster` repetitions (`0` = the mode default).
+    /// `bench-cluster`/`serve` repetitions (`0` = the mode default).
     reps: usize,
+    /// Arrival source of the `serve` command.
+    source: ServeSource,
+    /// `serve` load-generator offered rate (jobs per simulated second).
+    rate: f64,
+    /// `serve` load-generator horizon (simulated seconds).
+    duration: f64,
+    /// `serve`: write a live `HRPS` snapshot here mid-run.
+    checkpoint: Option<PathBuf>,
+    /// `serve`: rebuild a killed service from this snapshot.
+    restore: Option<PathBuf>,
+}
+
+/// Where the `serve` command's arrivals come from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ServeSource {
+    /// Replay a finite generated trace (the default; bench mode when
+    /// no checkpoint flags are given).
+    Trace,
+    /// Open-loop load generator with this arrival shape.
+    Load(LoadShape),
 }
 
 impl Options {
@@ -150,9 +193,11 @@ const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap]
 [--selector round-robin|least-loaded|policy|fcfs|easy|conservative] \
 [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered] \
 [--chunk-width W] [--walltime-err F] [--reps N] \
+[--source trace|poisson|bursty] [--rate F] [--duration F] \
+[--checkpoint PATH] [--restore PATH] \
 [--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
-          overhead oracle cluster bench-cluster
+          overhead oracle cluster bench-cluster serve
           ablate-reward ablate-agent ablate-interference all";
 
 /// Reject a malformed invocation: message + usage, exit status 2 (never
@@ -193,6 +238,11 @@ fn main() {
         chunk_width: None,
         walltime_err: 0.0,
         reps: 0,
+        source: ServeSource::Trace,
+        rate: 8.0,
+        duration: 60.0,
+        checkpoint: None,
+        restore: None,
     };
     let mut cmd: Option<&str> = None;
     let mut it = args.iter();
@@ -269,6 +319,44 @@ fn main() {
                 }
                 opts.reps = n;
             }
+            "--source" => {
+                let raw = flag_value(&mut it, "--source");
+                opts.source = match raw {
+                    "trace" => ServeSource::Trace,
+                    "poisson" => ServeSource::Load(LoadShape::Poisson),
+                    "bursty" => ServeSource::Load(LoadShape::Bursty),
+                    bad => fail(&format!(
+                        "unknown --source value '{bad}' \
+                         (expected 'trace', 'poisson', or 'bursty')"
+                    )),
+                };
+            }
+            "--rate" => {
+                let raw = flag_value(&mut it, "--rate");
+                let r: f64 = parse_flag("--rate", raw);
+                // NaN fails the comparison too; reject it alongside
+                // zero and the negatives.
+                if !(r.is_finite() && r > 0.0) {
+                    fail(&format!("--rate must be positive and finite (got '{raw}')"));
+                }
+                opts.rate = r;
+            }
+            "--duration" => {
+                let raw = flag_value(&mut it, "--duration");
+                let d: f64 = parse_flag("--duration", raw);
+                if !(d.is_finite() && d > 0.0) {
+                    fail(&format!(
+                        "--duration must be positive and finite (got '{raw}')"
+                    ));
+                }
+                opts.duration = d;
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(flag_value(&mut it, "--checkpoint")));
+            }
+            "--restore" => {
+                opts.restore = Some(PathBuf::from(flag_value(&mut it, "--restore")));
+            }
             "--trace" => {
                 let raw = flag_value(&mut it, "--trace");
                 opts.trace = TraceKind::parse(raw).unwrap_or_else(|bad| {
@@ -341,6 +429,7 @@ fn main() {
         "oracle" => oracle_cmd(&suite, &opts),
         "cluster" => cluster_cmd(&suite, &opts),
         "bench-cluster" => bench_cluster_cmd(&suite, &opts),
+        "serve" => serve_cmd(&suite, &opts),
         "all" => {
             table4(&suite, &opts);
             table5(&suite, &opts);
@@ -790,6 +879,219 @@ fn bench_cluster_cmd(suite: &Suite, opts: &Options) {
     let json = render_json(&report);
     std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
     println!("# wrote BENCH_6.json");
+}
+
+fn serve_cmd(suite: &Suite, opts: &Options) {
+    use hrp_bench::serve::{serve_bench_trace_cfg, ServeBenchConfig, SERVE_BENCH_GPUS_PER_NODE};
+    use hrp_serve::{restore_file, LoadGen, SchedulerService, ServeConfig, TraceSource};
+
+    if opts.selector == SelectorKind::Policy {
+        fail(
+            "serve does not train placement agents; \
+             pick a heuristic --selector (or restore a checkpointed policy service)",
+        );
+    }
+    if let (Some(c), Some(r)) = (&opts.checkpoint, &opts.restore) {
+        if c == r {
+            fail(&format!(
+                "--checkpoint and --restore name the same path {c:?}; \
+                 refusing to overwrite the snapshot being restored"
+            ));
+        }
+        fail(
+            "--checkpoint cannot be combined with --restore (restore, then checkpoint a later run)",
+        );
+    }
+
+    // Restore mode: rebuild the killed service and drain it.
+    if let Some(path) = &opts.restore {
+        let mut service = restore_file(suite, path)
+            .unwrap_or_else(|e| fail(&format!("--restore {}: {e:?}", path.display())));
+        println!(
+            "# serve: restored {} — {} node(s) x {} GPUs, selector {}, \
+             {} jobs already consumed",
+            path.display(),
+            service.config().nodes,
+            service.config().gpus_per_node,
+            service.selector_kind().name(),
+            service.consumed()
+        );
+        service.run_to_close();
+        emit_serve_run(opts, service.finish());
+        return;
+    }
+
+    let bench_cfg = ServeBenchConfig {
+        quick: opts.quick,
+        seed: opts.seed,
+        reps: opts.reps,
+    };
+    if opts.source == ServeSource::Trace && opts.checkpoint.is_none() {
+        serve_bench(suite, opts, &bench_cfg);
+        return;
+    }
+
+    // Single service run (load generator and/or live checkpointing).
+    let cfg =
+        ServeConfig::new(opts.nodes, SERVE_BENCH_GPUS_PER_NODE).walltime_err(opts.walltime_err);
+    match opts.source {
+        ServeSource::Trace => {
+            let trace_cfg = serve_bench_trace_cfg(opts.trace, &bench_cfg);
+            println!(
+                "# serve: {} node(s) x {} GPUs, selector {}, trace {} ({} jobs)",
+                opts.nodes,
+                SERVE_BENCH_GPUS_PER_NODE,
+                opts.selector.name(),
+                opts.trace.name(),
+                trace_cfg.jobs
+            );
+            // Checkpoint halfway through the trace.
+            let checkpoint_after = trace_cfg.jobs / 2;
+            let service = SchedulerService::new(
+                suite,
+                cfg,
+                opts.selector,
+                TraceSource::new(suite, trace_cfg),
+            );
+            drive_serve_run(service, checkpoint_after, opts);
+        }
+        ServeSource::Load(shape) => {
+            println!(
+                "# serve: {} node(s) x {} GPUs, selector {}, {} load at \
+                 {} jobs/s for {} s",
+                opts.nodes,
+                SERVE_BENCH_GPUS_PER_NODE,
+                opts.selector.name(),
+                shape.name(),
+                opts.rate,
+                opts.duration
+            );
+            let source = LoadGen::new(suite, shape, opts.rate, opts.duration, opts.seed);
+            // The horizon is open-ended in job count; checkpoint once
+            // a small prefix is in flight.
+            drive_serve_run(
+                SchedulerService::new(suite, cfg, opts.selector, source),
+                10,
+                opts,
+            );
+        }
+    }
+}
+
+/// Bench mode of `repro serve`: both cycle modes on every trace kind,
+/// digest-checked against the batch oracle, persisted as
+/// `BENCH_8.json`.
+fn serve_bench(suite: &Suite, opts: &Options, cfg: &hrp_bench::serve::ServeBenchConfig) {
+    use hrp_bench::serve::{
+        render_serve_json, run_serve_bench, SERVE_BENCH_GPUS_PER_NODE, SERVE_BENCH_MEAN_GAP,
+        SERVE_BENCH_NODES,
+    };
+    println!(
+        "# serve: {} nodes x {} GPUs, {} jobs/trace, {} reps, mean gap {} s",
+        SERVE_BENCH_NODES,
+        SERVE_BENCH_GPUS_PER_NODE,
+        cfg.jobs(),
+        cfg.effective_reps(),
+        SERVE_BENCH_MEAN_GAP
+    );
+    let report = run_serve_bench(suite, cfg);
+    let mut t = Table::new(&[
+        "trace",
+        "mode",
+        "decisions_per_sec",
+        "std_err",
+        "p50_us",
+        "p99_us",
+        "replanned",
+        "skipped",
+        "digest",
+    ]);
+    for tr in &report.traces {
+        for m in &tr.modes {
+            t.row(vec![
+                tr.kind.name().to_owned(),
+                m.mode.name().to_owned(),
+                f3(m.decisions_per_sec.mean),
+                f3(m.decisions_per_sec.std_err),
+                f3(m.latency.p50_us),
+                f3(m.latency.p99_us),
+                m.stats.nodes_replanned.to_string(),
+                m.stats.nodes_skipped.to_string(),
+                format!("{:016x}", m.digest),
+            ]);
+        }
+    }
+    t.emit("serve_bench", opts.out.as_deref());
+    let json = render_serve_json(&report);
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("# wrote BENCH_8.json");
+}
+
+/// Drive one live service run: optionally checkpoint once the source
+/// has handed out `checkpoint_after` jobs, then drain to close and
+/// report.
+fn drive_serve_run<S: hrp_serve::ArrivalSource>(
+    mut service: hrp_serve::SchedulerService<'_, S>,
+    checkpoint_after: usize,
+    opts: &Options,
+) {
+    use hrp_serve::ServiceStep;
+    if let Some(path) = &opts.checkpoint {
+        while service.consumed() < checkpoint_after {
+            match service.step() {
+                ServiceStep::Cycle { .. } => {}
+                ServiceStep::Pending => {
+                    if service.wake_cycle().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+                ServiceStep::Closed => break,
+            }
+        }
+        service
+            .checkpoint_to(path)
+            .unwrap_or_else(|e| fail(&format!("--checkpoint {}: {e:?}", path.display())));
+        println!(
+            "# serve: checkpointed at {} consumed jobs -> {}",
+            service.consumed(),
+            path.display()
+        );
+    }
+    service.run_to_close();
+    emit_serve_run(opts, service.finish());
+}
+
+/// One live service run's report: aggregate schedule quality, the
+/// logical cycle counters, the decision-latency percentiles, and the
+/// grep-friendly `# digest` line the CI kill/resume check compares.
+fn emit_serve_run(opts: &Options, served: hrp_serve::ServeReport) {
+    let agg = &served.report.aggregate;
+    let mut t = Table::new(&["quantity", "value"]);
+    t.row(vec![
+        "jobs completed".into(),
+        served.report.completed_jobs().to_string(),
+    ]);
+    t.row(vec!["makespan [s]".into(), f3(agg.makespan)]);
+    t.row(vec!["utilization".into(), f3(agg.utilization)]);
+    t.row(vec!["avg wait [s]".into(), f3(agg.avg_wait)]);
+    t.row(vec!["cycles".into(), served.stats.cycles.to_string()]);
+    t.row(vec![
+        "wake cycles".into(),
+        served.stats.wake_cycles.to_string(),
+    ]);
+    t.row(vec!["decisions".into(), served.stats.decisions.to_string()]);
+    t.row(vec![
+        "nodes re-planned".into(),
+        served.stats.nodes_replanned.to_string(),
+    ]);
+    t.row(vec![
+        "nodes skipped".into(),
+        served.stats.nodes_skipped.to_string(),
+    ]);
+    t.row(vec!["decision p50 [us]".into(), f3(served.latency.p50_us)]);
+    t.row(vec!["decision p99 [us]".into(), f3(served.latency.p99_us)]);
+    t.emit("serve_run", opts.out.as_deref());
+    println!("# digest {:016x}", served.report.timeline.digest());
 }
 
 fn ablate_interference_cmd(suite: &Suite, opts: &Options) {

@@ -13,6 +13,10 @@
 //! * [`bench_cluster`] — the `repro bench-cluster` statistics harness
 //!   (chunked optimistic vs barrier vs serial on large seeded traces,
 //!   persisted as `BENCH_6.json`);
+//! * [`serve`] — the `repro serve` online-service harness (sustained
+//!   decisions/sec and decision-latency percentiles of the `hrp-serve`
+//!   scheduler service, digest-checked against the batch oracle and
+//!   persisted as `BENCH_8.json`);
 //! * [`stats`] — small-sample summaries (mean, standard error,
 //!   Student-t 95 % CI) backing the harness;
 //! * [`report`] — TSV table assembly and file output.
@@ -30,4 +34,5 @@ pub mod cluster;
 pub mod eval;
 pub mod obs;
 pub mod report;
+pub mod serve;
 pub mod stats;

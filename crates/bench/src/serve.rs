@@ -1,0 +1,385 @@
+//! The `repro serve` online-service harness: sustained decisions/sec
+//! and decision-latency percentiles of the `hrp-serve` scheduler
+//! service, persisted as `BENCH_8.json`.
+//!
+//! Each trace kind is streamed through the service twice — once under
+//! the incremental dirty-set cycle and once under full re-planning —
+//! `reps` times each; ingest-loop wall-clock is summarised with
+//! [`RunStats`] as sustained decisions per second, and the
+//! per-decision latency percentiles of the last rep ride along. Before
+//! any number is reported, both modes' merged-timeline digests are
+//! checked against a batch [`MultiNodeSim`] replay of the same trace —
+//! a throughput figure for a *different* schedule would be
+//! meaningless — and the incremental mode must have re-planned
+//! strictly fewer nodes than full mode (the dirty set's whole claim,
+//! in the same logical-counter style as the engine bench's
+//! `SyncStats`).
+//!
+//! Like its siblings, the harness is dependency-free: JSON is
+//! assembled by hand ([`render_serve_json`]) and written to
+//! `BENCH_8.json` by the caller.
+
+use crate::stats::RunStats;
+use hrp_cluster::multinode::MultiNodeSim;
+use hrp_cluster::trace::{generate, TraceConfig, TraceKind};
+use hrp_cluster::SelectorKind;
+use hrp_serve::{
+    dispatcher_for, CycleMode, LatencySummary, SchedulerService, ServeConfig, ServeStats,
+    TraceSource,
+};
+use hrp_workloads::Suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Nodes in every serve-bench configuration (matches the engine
+/// bench's geometry, so the two reports are comparable).
+pub const SERVE_BENCH_NODES: usize = 8;
+/// GPUs per node.
+pub const SERVE_BENCH_GPUS_PER_NODE: usize = 2;
+/// Trace kinds the harness covers.
+pub const SERVE_BENCH_TRACE_KINDS: [TraceKind; 3] =
+    [TraceKind::Bursty, TraceKind::Skewed, TraceKind::HeavyTail];
+/// Mean inter-arrival gap of the bench traces, in simulated seconds.
+/// Thinner than the engine bench's default so nodes drain to
+/// quiescence between bursts — the regime the incremental dirty set
+/// exists for (a saturated cluster re-plans every node every cycle in
+/// any mode).
+pub const SERVE_BENCH_MEAN_GAP: f64 = 12.0;
+
+/// Sizing knobs of one `repro serve` bench invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Shrink jobs/reps for smoke runs.
+    pub quick: bool,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Repetitions per configuration (`0` = the mode default).
+    pub reps: usize,
+}
+
+impl ServeBenchConfig {
+    /// Jobs per trace: 2 000 for `--quick`, 20 000 otherwise.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        if self.quick {
+            2_000
+        } else {
+            20_000
+        }
+    }
+
+    /// Repetitions per configuration (explicit `reps`, else 3 quick /
+    /// 5 full).
+    #[must_use]
+    pub fn effective_reps(&self) -> usize {
+        if self.reps > 0 {
+            self.reps
+        } else if self.quick {
+            3
+        } else {
+            5
+        }
+    }
+}
+
+/// One cycle mode's summary on one trace.
+#[derive(Debug, Clone)]
+pub struct ServeModeResult {
+    /// The cycle mode.
+    pub mode: CycleMode,
+    /// Sustained placement decisions per second of ingest-loop
+    /// wall-clock, per rep.
+    pub decisions_per_sec: RunStats,
+    /// Logical service counters (identical across reps — they are a
+    /// function of the trace and the mode, not the clock).
+    pub stats: ServeStats,
+    /// Per-decision latency percentiles of the last rep.
+    pub latency: LatencySummary,
+    /// Merged-timeline FNV digest (identical across modes and equal to
+    /// the batch oracle; asserted).
+    pub digest: u64,
+}
+
+/// Both modes on one trace kind.
+#[derive(Debug, Clone)]
+pub struct ServeTraceBench {
+    /// The trace kind.
+    pub kind: TraceKind,
+    /// `incremental`, `full` — in that order.
+    pub modes: Vec<ServeModeResult>,
+}
+
+/// The full harness output.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The configuration that produced it.
+    pub cfg: ServeBenchConfig,
+    /// One entry per kind in [`SERVE_BENCH_TRACE_KINDS`].
+    pub traces: Vec<ServeTraceBench>,
+}
+
+/// The trace one serve-bench row streams.
+#[must_use]
+pub fn serve_bench_trace_cfg(kind: TraceKind, cfg: &ServeBenchConfig) -> TraceConfig {
+    TraceConfig::new(kind, cfg.jobs(), cfg.seed)
+        .max_gpus(SERVE_BENCH_GPUS_PER_NODE)
+        .mean_gap(SERVE_BENCH_MEAN_GAP)
+}
+
+/// Time one mode: `reps` identical service runs over the trace,
+/// returning the throughput summary plus the (rep-invariant) counters,
+/// the last rep's latency percentiles, and the digest.
+fn time_serve_mode(
+    suite: &Suite,
+    trace_cfg: &TraceConfig,
+    mode: CycleMode,
+    reps: usize,
+) -> ServeModeResult {
+    let mut samples = Vec::with_capacity(reps);
+    let mut stats = ServeStats::default();
+    let mut latency = LatencySummary::from_seconds(&[]);
+    let mut digest = 0u64;
+    for _ in 0..reps {
+        let mut service = SchedulerService::new(
+            suite,
+            ServeConfig::new(SERVE_BENCH_NODES, SERVE_BENCH_GPUS_PER_NODE).mode(mode),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(suite, trace_cfg.clone()),
+        );
+        let start = Instant::now();
+        service.run_to_close();
+        let elapsed = start.elapsed().as_secs_f64();
+        let report = service.finish();
+        samples.push(report.stats.decisions as f64 / elapsed.max(1e-9));
+        stats = report.stats;
+        latency = report.latency;
+        digest = report.report.timeline.digest();
+    }
+    ServeModeResult {
+        mode,
+        decisions_per_sec: RunStats::from_samples(&samples),
+        stats,
+        latency,
+        digest,
+    }
+}
+
+/// Run the full harness: every trace kind × {incremental, full},
+/// digest-checked against the batch oracle.
+///
+/// # Panics
+/// Panics if any service digest diverges from the batch replay, or if
+/// the incremental mode fails to re-plan strictly fewer nodes than
+/// full mode (either would be an engine bug, not a measurement).
+#[must_use]
+pub fn run_serve_bench(suite: &Suite, cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let reps = cfg.effective_reps();
+    let traces = SERVE_BENCH_TRACE_KINDS
+        .iter()
+        .map(|&kind| {
+            let trace_cfg = serve_bench_trace_cfg(kind, cfg);
+            let incremental = time_serve_mode(suite, &trace_cfg, CycleMode::Incremental, reps);
+            let full = time_serve_mode(suite, &trace_cfg, CycleMode::Full, reps);
+            // The batch oracle: the same jobs through MultiNodeSim.
+            let mut selector = SelectorKind::LeastLoaded.build();
+            let oracle = MultiNodeSim::new(SERVE_BENCH_NODES, SERVE_BENCH_GPUS_PER_NODE)
+                .run(
+                    suite,
+                    generate(suite, &trace_cfg),
+                    selector.as_mut(),
+                    |_| dispatcher_for(SelectorKind::LeastLoaded, SERVE_BENCH_GPUS_PER_NODE, 0.0),
+                )
+                .timeline
+                .digest();
+            assert_eq!(
+                incremental.digest,
+                oracle,
+                "{}: incremental service diverged from the batch oracle",
+                kind.name()
+            );
+            assert_eq!(
+                full.digest,
+                oracle,
+                "{}: full-mode service diverged from the batch oracle",
+                kind.name()
+            );
+            assert!(
+                incremental.stats.nodes_replanned < full.stats.nodes_replanned,
+                "{}: the dirty set must re-plan strictly fewer nodes \
+                 ({} vs {})",
+                kind.name(),
+                incremental.stats.nodes_replanned,
+                full.stats.nodes_replanned
+            );
+            ServeTraceBench {
+                kind,
+                modes: vec![incremental, full],
+            }
+        })
+        .collect();
+    ServeBenchReport { cfg: *cfg, traces }
+}
+
+/// A finite f64 as a JSON number (Rust's shortest-roundtrip rendering
+/// is valid JSON for every finite value).
+fn jnum(x: f64) -> String {
+    debug_assert!(x.is_finite());
+    format!("{x:?}")
+}
+
+/// Render the report as the `serve/v1` JSON document.
+#[must_use]
+pub fn render_serve_json(report: &ServeBenchReport) -> String {
+    let cfg = &report.cfg;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"serve/v1\",");
+    let _ = writeln!(out, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"nodes\": {SERVE_BENCH_NODES},");
+    let _ = writeln!(out, "  \"gpus_per_node\": {SERVE_BENCH_GPUS_PER_NODE},");
+    let _ = writeln!(out, "  \"jobs\": {},", cfg.jobs());
+    let _ = writeln!(out, "  \"reps\": {},", cfg.effective_reps());
+    let _ = writeln!(out, "  \"mean_gap\": {},", jnum(SERVE_BENCH_MEAN_GAP));
+    let _ = writeln!(out, "  \"rows\": [");
+    let mut first = true;
+    for t in &report.traces {
+        for m in &t.modes {
+            if !first {
+                let _ = writeln!(out, ",");
+            }
+            first = false;
+            let s = &m.decisions_per_sec;
+            let _ = write!(
+                out,
+                "    {{\"trace\": \"{}\", \"mode\": \"{}\", \
+                 \"decisions_per_sec\": {}, \"std_err\": {}, \
+                 \"ci95_lo\": {}, \"ci95_hi\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+                 \"cycles\": {}, \"wake_cycles\": {}, \"decisions\": {}, \
+                 \"nodes_replanned\": {}, \"nodes_skipped\": {}, \
+                 \"digest\": \"{:016x}\"}}",
+                t.kind.name(),
+                m.mode.name(),
+                jnum(s.mean),
+                jnum(s.std_err),
+                jnum(s.ci95_lo),
+                jnum(s.ci95_hi),
+                jnum(m.latency.p50_us),
+                jnum(m.latency.p99_us),
+                jnum(m.latency.max_us),
+                m.stats.cycles,
+                m.stats.wake_cycles,
+                m.stats.decisions,
+                m.stats.nodes_replanned,
+                m.stats.nodes_skipped,
+                m.digest,
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrp_gpusim::GpuArch;
+
+    /// A tiny harness run (reduced job count, one rep) exercising the
+    /// full path: both modes, the batch-oracle digest check, and the
+    /// dirty-set savings assertion.
+    fn tiny_bench(suite: &Suite) -> ServeBenchReport {
+        let cfg = ServeBenchConfig {
+            quick: true,
+            seed: 42,
+            reps: 1,
+        };
+        let traces = SERVE_BENCH_TRACE_KINDS
+            .iter()
+            .map(|&kind| {
+                let trace_cfg = TraceConfig::new(kind, 300, cfg.seed)
+                    .max_gpus(SERVE_BENCH_GPUS_PER_NODE)
+                    .mean_gap(SERVE_BENCH_MEAN_GAP);
+                let incremental = time_serve_mode(suite, &trace_cfg, CycleMode::Incremental, 1);
+                let full = time_serve_mode(suite, &trace_cfg, CycleMode::Full, 1);
+                assert_eq!(incremental.digest, full.digest, "{}", kind.name());
+                assert!(
+                    incremental.stats.nodes_replanned < full.stats.nodes_replanned,
+                    "{}: {} vs {}",
+                    kind.name(),
+                    incremental.stats.nodes_replanned,
+                    full.stats.nodes_replanned
+                );
+                ServeTraceBench {
+                    kind,
+                    modes: vec![incremental, full],
+                }
+            })
+            .collect();
+        ServeBenchReport { cfg, traces }
+    }
+
+    #[test]
+    fn harness_modes_agree_and_the_dirty_set_saves_replans() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let report = tiny_bench(&suite);
+        assert_eq!(report.traces.len(), 3);
+        for t in &report.traces {
+            assert_eq!(t.modes[0].digest, t.modes[1].digest);
+            assert_eq!(t.modes[0].stats.decisions, t.modes[1].stats.decisions);
+        }
+    }
+
+    #[test]
+    fn json_document_has_the_promised_fields() {
+        let suite = Suite::paper_suite(&GpuArch::a100());
+        let json = render_serve_json(&tiny_bench(&suite));
+        for field in [
+            "\"schema\": \"serve/v1\"",
+            "\"decisions_per_sec\"",
+            "\"std_err\"",
+            "\"ci95_lo\"",
+            "\"ci95_hi\"",
+            "\"p50_us\"",
+            "\"p99_us\"",
+            "\"max_us\"",
+            "\"nodes_replanned\"",
+            "\"nodes_skipped\"",
+            "\"digest\"",
+            "\"mean_gap\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        for kind in SERVE_BENCH_TRACE_KINDS {
+            assert!(json.contains(&format!("\"trace\": \"{}\"", kind.name())));
+        }
+        for mode in ["\"mode\": \"incremental\"", "\"mode\": \"full\""] {
+            assert!(json.contains(mode), "missing {mode}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn config_sizing() {
+        let mut cfg = ServeBenchConfig {
+            quick: true,
+            seed: 1,
+            reps: 0,
+        };
+        assert_eq!(cfg.jobs(), 2_000);
+        assert_eq!(cfg.effective_reps(), 3);
+        cfg.quick = false;
+        assert_eq!(cfg.jobs(), 20_000);
+        assert_eq!(cfg.effective_reps(), 5);
+        cfg.reps = 7;
+        assert_eq!(cfg.effective_reps(), 7);
+    }
+}

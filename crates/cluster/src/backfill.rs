@@ -267,6 +267,36 @@ impl BackfillPlanner {
         self.policy
     }
 
+    /// The walltime-estimate error fraction set at build time.
+    #[must_use]
+    pub fn walltime_err(&self) -> f64 {
+        self.walltime_err
+    }
+
+    /// Snapshot the planner's mutable bookkeeping for serialization.
+    /// Release entries store `now + estimate` sums whose bit patterns
+    /// cannot be reproduced by re-deriving them (f64 addition is not
+    /// associative across a resume boundary), so a live checkpoint
+    /// must carry them verbatim.
+    #[must_use]
+    pub fn export_state(&self) -> BackfillState {
+        BackfillState {
+            releases: self.releases.clone(),
+            reservations: self.reservations.clone(),
+            wake: self.wake,
+        }
+    }
+
+    /// Overwrite the mutable bookkeeping with an exported snapshot:
+    /// a planner built with the same policy/pool/error and restored
+    /// this way decides bit-identically to the one the snapshot was
+    /// taken from.
+    pub fn restore_state(&mut self, state: BackfillState) {
+        self.releases = state.releases;
+        self.reservations = state.reservations;
+        self.wake = state.wake;
+    }
+
     /// The walltime estimate the planner schedules `job` by (true
     /// duration scaled by the deterministic error factor).
     #[must_use]
@@ -326,6 +356,19 @@ impl BackfillPlanner {
         }
         profile
     }
+}
+
+/// A [`BackfillPlanner`]'s mutable bookkeeping, exported by
+/// [`BackfillPlanner::export_state`] for live checkpoints and restored
+/// via [`BackfillPlanner::restore_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackfillState {
+    /// `(estimated finish, gpus)` bookings of started placements.
+    pub releases: Vec<(f64, usize)>,
+    /// `(start, end, gpus)` advance reservations.
+    pub reservations: Vec<(f64, f64, usize)>,
+    /// Pending wakeup hint.
+    pub wake: Option<f64>,
 }
 
 /// splitmix64 finalizer mapped to `[0, 1)`.

@@ -98,6 +98,18 @@ impl<P: Policy> CoSchedulingDispatcher<P> {
         self.windows
     }
 
+    /// Restore the window counter on a freshly built dispatcher when
+    /// resuming from a live checkpoint. The counter feeds the
+    /// `win{n}` queue labels, so it must survive a kill/restore for
+    /// the resumed schedule to be bit-identical. The plan-ahead cache
+    /// is cleared: it is validated memoization (see
+    /// `cached_window_is_current`), so dropping it never changes a
+    /// decision — only when the planning work happens.
+    pub fn restore_windows_scheduled(&mut self, windows: usize) {
+        self.windows = windows;
+        self.planned.clear();
+    }
+
     /// The window the serial path would form right now: the first
     /// `min(|singles|, w)` waiting single-GPU jobs.
     fn window_shape(&self, singles: &[&ClusterJob]) -> usize {

@@ -480,6 +480,118 @@ impl<'a, D: Dispatcher + Send> ClusterDrive<'a, D> {
         }
         assemble_report(stats, events, self.gpus_per_node, total_jobs, self.sync)
     }
+
+    /// Jobs routed through [`ClusterDrive::place`] so far.
+    #[must_use]
+    pub fn placed(&self) -> usize {
+        self.placed
+    }
+
+    /// The logical synchronization counters accumulated so far.
+    #[must_use]
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync
+    }
+
+    /// `true` when `node` is *quiescent*: nothing running, waiting, or
+    /// queued, no pending dispatch, and no dispatcher wakeup hint.
+    /// Advancing a quiescent node to any horizon is a no-op and its
+    /// [`NodeLoad`] is time-invariant (outstanding exactly `0.0`), so
+    /// an incremental driver may skip it without perturbing the
+    /// timeline or the selector inputs — the dirty-set contract the
+    /// online service (`hrp-serve`) builds on.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn node_is_quiescent(&self, node: usize) -> bool {
+        let run = self.slots[node].lock().expect("node lock");
+        run.is_idle() && !run.is_dirty() && run.wakeup_hint().is_none()
+    }
+
+    /// Advance a *single* node to `t` and refresh its load snapshot —
+    /// the incremental counterpart of [`ClusterDrive::advance_to`],
+    /// used by dirty-set drivers that re-plan only non-quiescent
+    /// nodes. Counts one node-advance; the per-cycle round counter is
+    /// bumped separately via [`ClusterDrive::note_round`].
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn advance_node_to(&mut self, node: usize, t: f64) {
+        self.sync.node_advances += 1;
+        let mut run = self.slots[node].lock().expect("node lock");
+        run.advance_until(self.suite, t);
+        self.loads[node] = run.load(self.suite, t);
+    }
+
+    /// Count one incremental scheduling cycle as a synchronization
+    /// round, so [`SyncStats::sync_rounds`] stays comparable between
+    /// the batch barrier driver (one round per epoch) and an
+    /// incremental driver (one round per cycle).
+    pub fn note_round(&mut self) {
+        self.sync.sync_rounds += 1;
+    }
+
+    /// The earliest strictly-future dispatcher wakeup hint across all
+    /// nodes — when an otherwise idle cluster next wants a cycle (e.g.
+    /// a backfill reservation expiring).
+    #[must_use]
+    pub fn next_wakeup(&self) -> Option<f64> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.lock().expect("node lock").wakeup_hint())
+            .min_by(f64::total_cmp)
+    }
+
+    /// Run a closure against one node's [`NodeRun`] (checkpointing
+    /// reads node state through this without exposing the lock).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn with_node<R>(&self, node: usize, f: impl FnOnce(&NodeRun<D>) -> R) -> R {
+        f(&self.slots[node].lock().expect("node lock"))
+    }
+
+    /// Rebuild a drive mid-run from exported node states (paired with
+    /// dispatchers restored to the matching point), the load snapshots
+    /// taken at capture time, and the routing/sync counters. Resumes
+    /// bit-identically to the drive the states were captured from.
+    ///
+    /// # Panics
+    /// Panics on inconsistent geometry (no nodes, more than 64, or a
+    /// state whose GPU pool disagrees with `gpus_per_node`).
+    #[must_use]
+    pub fn from_states(
+        suite: &'a Suite,
+        gpus_per_node: usize,
+        parts: Vec<(crate::sim::NodeRunState, D)>,
+        loads: Vec<NodeLoad>,
+        placed: usize,
+        sync: SyncStats,
+    ) -> Self {
+        assert!(
+            (1..=64).contains(&parts.len()),
+            "1..=64 nodes, got {}",
+            parts.len()
+        );
+        assert_eq!(parts.len(), loads.len(), "one load snapshot per node");
+        let slots: Vec<Mutex<NodeRun<D>>> = parts
+            .into_iter()
+            .map(|(state, dispatcher)| {
+                assert_eq!(state.n_gpus, gpus_per_node, "node geometry mismatch");
+                Mutex::new(NodeRun::from_state(state, dispatcher))
+            })
+            .collect();
+        Self {
+            suite,
+            gpus_per_node,
+            fanout: DriveFanout::Serial,
+            slots,
+            loads,
+            placed,
+            sync,
+        }
+    }
 }
 
 /// Merge per-node streams and assemble the report — shared verbatim by

@@ -55,6 +55,20 @@ impl RoundRobin {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// A selector resuming at an explicit cursor (live checkpoint
+    /// restore: the cursor is the only state the round-robin tier
+    /// carries).
+    #[must_use]
+    pub fn with_cursor(cursor: usize) -> Self {
+        Self { next: cursor }
+    }
+
+    /// The cursor the next [`NodeSelector::select`] call will use.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.next
+    }
 }
 
 impl NodeSelector for RoundRobin {

@@ -460,6 +460,132 @@ impl<D: Dispatcher> NodeRun<D> {
             self.dispatcher,
         )
     }
+
+    /// `true` when the node holds no work at all: nothing running,
+    /// nothing waiting, no future arrivals queued.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty() && self.waiting.is_empty() && self.arrivals.is_empty()
+    }
+
+    /// Whether the dispatcher must be consulted at the next advance
+    /// (the queue or GPU pool changed since the last dispatch).
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The dispatcher's strictly-future wakeup hint at the node's
+    /// current clock, if any — the instant an otherwise event-free
+    /// node wants to be advanced again (e.g. a backfill reservation
+    /// expiring). This is the hint [`NodeRun::advance_until`] consumes
+    /// internally, exposed so an online driver can size its idle sleep.
+    #[must_use]
+    pub fn wakeup_hint(&self) -> Option<f64> {
+        self.dispatcher
+            .next_wakeup(self.clock)
+            .filter(|w| *w > self.clock + TIME_EPS)
+    }
+
+    /// Shared access to the dispatcher (checkpointing reads its state).
+    #[must_use]
+    pub fn dispatcher(&self) -> &D {
+        &self.dispatcher
+    }
+
+    /// Snapshot the node's full interior state for serialization. The
+    /// dispatcher is not included — capture it separately through
+    /// [`NodeRun::dispatcher`].
+    #[must_use]
+    pub fn export_state(&self) -> NodeRunState {
+        NodeRunState {
+            node: self.node,
+            n_gpus: self.n_gpus,
+            clock: self.clock,
+            free: self.free,
+            arrivals: self.arrivals.iter().cloned().collect(),
+            waiting: self.waiting.clone(),
+            running: self.running.clone(),
+            busy_gpu_seconds: self.busy_gpu_seconds,
+            wait_sum: self.wait_sum,
+            placements: self.placements,
+            jobs: self.jobs,
+            completed: self.completed,
+            seq: self.seq,
+            dirty: self.dirty,
+            events: self.events.clone(),
+        }
+    }
+
+    /// Rebuild a node mid-run from an exported state and a dispatcher
+    /// restored to the matching point. The pair resumes bit-identically
+    /// to the run the state was captured from.
+    ///
+    /// # Panics
+    /// Panics on inconsistent geometry (`n_gpus` zero or `free`
+    /// exceeding the pool).
+    #[must_use]
+    pub fn from_state(state: NodeRunState, dispatcher: D) -> Self {
+        assert!(state.n_gpus >= 1);
+        assert!(state.free <= state.n_gpus, "more free GPUs than exist");
+        Self {
+            node: state.node,
+            n_gpus: state.n_gpus,
+            dispatcher,
+            clock: state.clock,
+            free: state.free,
+            arrivals: state.arrivals.into(),
+            waiting: state.waiting,
+            running: state.running,
+            busy_gpu_seconds: state.busy_gpu_seconds,
+            wait_sum: state.wait_sum,
+            placements: state.placements,
+            jobs: state.jobs,
+            completed: state.completed,
+            seq: state.seq,
+            dirty: state.dirty,
+            events: state.events,
+        }
+    }
+}
+
+/// A [`NodeRun`]'s complete interior state, exported for live
+/// checkpointing (the `HRPS` snapshot in `hrp-serve`) and restored via
+/// [`NodeRun::from_state`]. Every field that influences the event
+/// stream is here — including the already-recorded events, so a merged
+/// timeline digest survives a kill/restore cycle bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRunState {
+    /// Node id.
+    pub node: usize,
+    /// GPU pool size.
+    pub n_gpus: usize,
+    /// Simulation clock.
+    pub clock: f64,
+    /// Currently idle GPUs.
+    pub free: usize,
+    /// Future arrivals, non-decreasing in time.
+    pub arrivals: Vec<ClusterJob>,
+    /// Absorbed jobs awaiting dispatch.
+    pub waiting: Vec<ClusterJob>,
+    /// `(finish_time, gpus, job_ids)` of running placements.
+    pub running: Vec<(f64, usize, Vec<usize>)>,
+    /// `Σ duration × gpus` over placements so far.
+    pub busy_gpu_seconds: f64,
+    /// `Σ (start − arrival)` over placed jobs so far.
+    pub wait_sum: f64,
+    /// Placements executed so far.
+    pub placements: usize,
+    /// Jobs that arrived on this node so far.
+    pub jobs: usize,
+    /// Jobs whose placements finished so far.
+    pub completed: usize,
+    /// Next event sequence number.
+    pub seq: u64,
+    /// Whether the dispatcher must be consulted at the next advance.
+    pub dirty: bool,
+    /// Events recorded so far (not yet drained).
+    pub events: Vec<NodeEvent>,
 }
 
 /// Delegating shim so `&mut dyn Dispatcher` drives a [`NodeRun`].

@@ -1,0 +1,852 @@
+//! The `HRPS` live-checkpoint format: kill a running
+//! [`SchedulerService`] and resume it bit-identically mid-trace.
+//!
+//! The container follows the repo's `HRPE`/`HRPP` snapshot pattern —
+//! a 4-byte magic, a little-endian `u32` version, a length-prefixed
+//! textual `key=value` spec, then a binary body:
+//!
+//! ```text
+//! "HRPS" | version u32 | spec_len u32 | spec text | body
+//! ```
+//!
+//! The spec carries everything reconstructible from plain text: the
+//! service geometry, cycle mode, selector kind (plus the round-robin
+//! cursor), the source family with its parameters and stream
+//! position, the logical counters, and the last-cycle instant as raw
+//! bits. The body carries what must survive *verbatim*: every node's
+//! in-flight [`NodeRunState`] (running placements, waiting queue,
+//! undrained events, clocks — f64s as bit patterns, since re-deriving
+//! sums would not reproduce them), the load snapshots, per-node
+//! dispatcher bookkeeping ([`BackfillState`] or the co-scheduling
+//! window counter), the service's one-job lookahead, and — for the
+//! policy selector — the agent's embedded `HRPP` blob.
+//!
+//! Deterministic sources checkpoint as spec + position: a rebuilt
+//! source replays `consumed` draws to restore its RNG cursor exactly.
+//! A live [`ChannelSource`](crate::source::ChannelSource) has no such
+//! position and refuses to checkpoint. Decision-latency samples are
+//! wall-clock measurement, not state — a restored service starts a
+//! fresh latency window.
+
+use crate::service::{
+    dispatcher_for, CycleMode, SchedulerService, SelectorState, ServeConfig, ServeStats,
+};
+use crate::source::{ArrivalSource, LoadGen, LoadShape, TraceSource};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hrp_cluster::backfill::BackfillState;
+use hrp_cluster::job::ClusterJob;
+use hrp_cluster::multinode::{ClusterDrive, SyncStats};
+use hrp_cluster::place::{PlacementDispatcher, PlacementExperiment};
+use hrp_cluster::select::{NodeLoad, RoundRobin, SelectorKind};
+use hrp_cluster::sim::{EventKind, NodeEvent, NodeRunState};
+use hrp_cluster::trace::{TraceConfig, TraceKind};
+pub use hrp_core::experiment::CheckpointError;
+use hrp_workloads::Suite;
+use std::collections::BTreeMap;
+
+const MAGIC: &[u8; 4] = b"HRPS";
+const VERSION: u32 = 1;
+
+/// Per-node dispatcher bookkeeping captured under the node lock.
+enum DispatcherState {
+    CoSched { windows: usize },
+    Backfill(BackfillState),
+}
+
+impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
+    /// Serialize the full in-flight service state as an `HRPS` blob.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Spec`] if the arrival source cannot be
+    /// checkpointed (live channels have no replayable position).
+    pub fn checkpoint(&self) -> Result<Bytes, CheckpointError> {
+        let src_spec = self.source.checkpoint_spec().ok_or_else(|| {
+            CheckpointError::Spec(format!(
+                "source '{}' has no replayable position",
+                self.source.name()
+            ))
+        })?;
+
+        let agent_blob = match &self.selector {
+            SelectorState::Policy(agent, _) => Some(agent.save_bytes()),
+            _ => None,
+        };
+
+        let mut spec = String::new();
+        let mut kv = |k: &str, v: String| {
+            spec.push_str(k);
+            spec.push('=');
+            spec.push_str(&v);
+            spec.push('\n');
+        };
+        let sync = self.drive.sync_stats();
+        kv("nodes", self.cfg.nodes.to_string());
+        kv("gpus_per_node", self.cfg.gpus_per_node.to_string());
+        kv("walltime_err", format!("{:?}", self.cfg.walltime_err));
+        kv("mode", self.cfg.mode.name().to_owned());
+        kv("selector", self.selector.kind().name().to_owned());
+        if let SelectorState::RoundRobin(rr) = &self.selector {
+            kv("rr_cursor", rr.cursor().to_string());
+        }
+        kv("source", self.source.name().to_owned());
+        kv("src_consumed", self.source.consumed().to_string());
+        for (k, v) in src_spec {
+            kv(&format!("src_{k}"), v);
+        }
+        kv("cycles", self.stats.cycles.to_string());
+        kv("wake_cycles", self.stats.wake_cycles.to_string());
+        kv("decisions", self.stats.decisions.to_string());
+        kv("nodes_replanned", self.stats.nodes_replanned.to_string());
+        kv("nodes_skipped", self.stats.nodes_skipped.to_string());
+        kv("placed", self.drive.placed().to_string());
+        kv("sync_rounds", sync.sync_rounds.to_string());
+        kv("node_advances", sync.node_advances.to_string());
+        kv("chunks", sync.chunks.to_string());
+        kv("speculations", sync.speculations.to_string());
+        kv("rollbacks", sync.rollbacks.to_string());
+        kv("clean_commits", sync.clean_commits.to_string());
+        kv("last_cycle_bits", self.last_cycle.to_bits().to_string());
+        kv(
+            "has_lookahead",
+            u8::from(self.lookahead.is_some()).to_string(),
+        );
+        kv("has_agent", u8::from(agent_blob.is_some()).to_string());
+
+        let mut body = BytesMut::with_capacity(4096);
+        if let Some(job) = &self.lookahead {
+            put_job(&mut body, job);
+        }
+        for node in 0..self.cfg.nodes {
+            let (state, disp) = self.drive.with_node(node, |run| {
+                let disp = match run.dispatcher() {
+                    PlacementDispatcher::CoSched(d) => DispatcherState::CoSched {
+                        windows: d.windows_scheduled(),
+                    },
+                    PlacementDispatcher::Backfill(p) => DispatcherState::Backfill(p.export_state()),
+                };
+                (run.export_state(), disp)
+            });
+            put_node_state(&mut body, &state);
+            put_load(&mut body, &self.drive.loads()[node]);
+            put_dispatcher(&mut body, &disp);
+        }
+        if let Some(blob) = agent_blob {
+            put_len(&mut body, blob.len());
+            body.put_slice(&blob);
+        }
+
+        let mut out = BytesMut::with_capacity(12 + spec.len() + body.len());
+        out.put_slice(MAGIC);
+        out.put_u32_le(VERSION);
+        out.put_u32_le(spec.len() as u32);
+        out.put_slice(spec.as_bytes());
+        out.put_slice(&body);
+        Ok(out.freeze())
+    }
+
+    /// [`SchedulerService::checkpoint`] straight to a file.
+    ///
+    /// # Errors
+    /// Checkpoint errors, plus [`CheckpointError::Io`] on write
+    /// failure.
+    pub fn checkpoint_to(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        let blob = self.checkpoint()?;
+        std::fs::write(path, &*blob).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))
+    }
+}
+
+/// Rebuild a service from an `HRPS` blob. The returned service is
+/// positioned exactly where [`SchedulerService::checkpoint`] left
+/// off: driving it to close yields the same merged timeline, bit for
+/// bit, as the service it was captured from would have produced
+/// uninterrupted.
+///
+/// # Errors
+/// [`CheckpointError::NotACheckpoint`] / [`CheckpointError::BadVersion`]
+/// on a foreign or future blob, [`CheckpointError::Spec`] on any
+/// malformed spec or body content.
+pub fn restore(
+    suite: &Suite,
+    mut blob: Bytes,
+) -> Result<SchedulerService<'_, Box<dyn ArrivalSource + '_>>, CheckpointError> {
+    if blob.len() < 12 || &blob[..4] != MAGIC {
+        return Err(CheckpointError::NotACheckpoint);
+    }
+    blob.advance(4);
+    let version = blob.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let spec_len = blob.get_u32_le() as usize;
+    if blob.len() < spec_len {
+        return Err(CheckpointError::Spec("truncated spec".into()));
+    }
+    let spec_bytes = blob.split_to(spec_len);
+    let spec_text = std::str::from_utf8(&spec_bytes)
+        .map_err(|_| CheckpointError::Spec("spec is not UTF-8".into()))?;
+    let spec = parse_spec(spec_text)?;
+
+    let nodes = get_usize(&spec, "nodes")?;
+    let gpus_per_node = get_usize(&spec, "gpus_per_node")?;
+    let walltime_err = get_f64(&spec, "walltime_err")?;
+    let mode = CycleMode::parse(get(&spec, "mode")?)
+        .map_err(|m| CheckpointError::Spec(format!("unknown mode '{m}'")))?;
+    let kind = SelectorKind::parse(get(&spec, "selector")?)
+        .map_err(|s| CheckpointError::Spec(format!("unknown selector '{s}'")))?;
+    let cfg = ServeConfig::new(nodes, gpus_per_node)
+        .walltime_err(walltime_err)
+        .mode(mode);
+    let stats = ServeStats {
+        cycles: get_u64(&spec, "cycles")?,
+        wake_cycles: get_u64(&spec, "wake_cycles")?,
+        decisions: get_u64(&spec, "decisions")?,
+        nodes_replanned: get_u64(&spec, "nodes_replanned")?,
+        nodes_skipped: get_u64(&spec, "nodes_skipped")?,
+    };
+    let sync = SyncStats {
+        sync_rounds: get_u64(&spec, "sync_rounds")?,
+        node_advances: get_u64(&spec, "node_advances")?,
+        chunks: get_u64(&spec, "chunks")?,
+        speculations: get_u64(&spec, "speculations")?,
+        rollbacks: get_u64(&spec, "rollbacks")?,
+        clean_commits: get_u64(&spec, "clean_commits")?,
+    };
+    let placed = get_usize(&spec, "placed")?;
+    let last_cycle = f64::from_bits(get_u64(&spec, "last_cycle_bits")?);
+    let has_lookahead = get_u64(&spec, "has_lookahead")? != 0;
+    let has_agent = get_u64(&spec, "has_agent")? != 0;
+
+    let mut body = Body(blob);
+    let lookahead = if has_lookahead {
+        Some(body.job()?)
+    } else {
+        None
+    };
+    let mut parts: Vec<(NodeRunState, PlacementDispatcher)> = Vec::with_capacity(nodes);
+    let mut loads: Vec<NodeLoad> = Vec::with_capacity(nodes);
+    for node in 0..nodes {
+        let state = body.node_state(node, gpus_per_node)?;
+        loads.push(body.load(node)?);
+        let dispatcher = body.dispatcher(kind, gpus_per_node, walltime_err)?;
+        parts.push((state, dispatcher));
+    }
+    let selector = if has_agent {
+        if kind != SelectorKind::Policy {
+            return Err(CheckpointError::Spec(format!(
+                "agent blob on non-policy selector '{}'",
+                kind.name()
+            )));
+        }
+        let len = body.len_prefix()?;
+        let agent = PlacementExperiment::load_bytes(body.take(len)?)?;
+        SelectorState::from_agent(agent)
+    } else {
+        match kind {
+            SelectorKind::Policy => {
+                return Err(CheckpointError::Spec(
+                    "policy selector checkpoint is missing its agent blob".into(),
+                ))
+            }
+            SelectorKind::RoundRobin => {
+                SelectorState::RoundRobin(RoundRobin::with_cursor(get_usize(&spec, "rr_cursor")?))
+            }
+            other => SelectorState::from_kind(other),
+        }
+    };
+    if !body.0.is_empty() {
+        return Err(CheckpointError::Spec(format!(
+            "{} trailing bytes after the body",
+            body.0.len()
+        )));
+    }
+
+    let src_consumed = get_usize(&spec, "src_consumed")?;
+    let source: Box<dyn ArrivalSource + '_> = match get(&spec, "source")? {
+        "trace" => {
+            let trace_kind = TraceKind::parse(get(&spec, "src_kind")?)
+                .map_err(|k| CheckpointError::Spec(format!("unknown trace kind '{k}'")))?;
+            let cfg = TraceConfig::new(
+                trace_kind,
+                get_usize(&spec, "src_jobs")?,
+                get_u64(&spec, "src_seed")?,
+            )
+            .max_gpus(get_usize(&spec, "src_max_gpus")?)
+            .mean_gap(get_f64(&spec, "src_mean_gap")?)
+            .gang_share(get_f64(&spec, "src_gang_share")?);
+            Box::new(TraceSource::resume(suite, cfg, src_consumed))
+        }
+        shape @ ("poisson" | "bursty") => {
+            let shape = if shape == "poisson" {
+                LoadShape::Poisson
+            } else {
+                LoadShape::Bursty
+            };
+            Box::new(LoadGen::resume(
+                suite,
+                shape,
+                get_f64(&spec, "src_rate")?,
+                get_f64(&spec, "src_duration")?,
+                get_u64(&spec, "src_seed")?,
+                get_usize(&spec, "src_max_gpus")?,
+                src_consumed,
+            ))
+        }
+        other => {
+            return Err(CheckpointError::Spec(format!(
+                "source '{other}' cannot be restored"
+            )))
+        }
+    };
+
+    let drive = ClusterDrive::from_states(suite, gpus_per_node, parts, loads, placed, sync);
+    Ok(SchedulerService {
+        suite,
+        cfg,
+        drive,
+        selector,
+        source,
+        lookahead,
+        last_cycle,
+        stats,
+        latencies: Vec::new(),
+    })
+}
+
+/// [`restore`] straight from a file.
+///
+/// # Errors
+/// Restore errors, plus [`CheckpointError::Io`] on read failure.
+pub fn restore_file<'a>(
+    suite: &'a Suite,
+    path: &std::path::Path,
+) -> Result<SchedulerService<'a, Box<dyn ArrivalSource + 'a>>, CheckpointError> {
+    let raw = std::fs::read(path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+    restore(suite, Bytes::from(raw))
+}
+
+// ---- spec helpers -------------------------------------------------
+
+fn parse_spec(text: &str) -> Result<BTreeMap<&str, &str>, CheckpointError> {
+    let mut map = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| CheckpointError::Spec(format!("malformed line '{line}'")))?;
+        if map.insert(key, value).is_some() {
+            return Err(CheckpointError::Spec(format!("duplicate key '{key}'")));
+        }
+    }
+    Ok(map)
+}
+
+fn get<'m>(spec: &BTreeMap<&str, &'m str>, key: &str) -> Result<&'m str, CheckpointError> {
+    spec.get(key)
+        .copied()
+        .ok_or_else(|| CheckpointError::Spec(format!("missing key '{key}'")))
+}
+
+fn get_usize(spec: &BTreeMap<&str, &str>, key: &str) -> Result<usize, CheckpointError> {
+    get(spec, key)?
+        .parse()
+        .map_err(|_| CheckpointError::Spec(format!("'{key}' is not an integer")))
+}
+
+fn get_u64(spec: &BTreeMap<&str, &str>, key: &str) -> Result<u64, CheckpointError> {
+    get(spec, key)?
+        .parse()
+        .map_err(|_| CheckpointError::Spec(format!("'{key}' is not an integer")))
+}
+
+fn get_f64(spec: &BTreeMap<&str, &str>, key: &str) -> Result<f64, CheckpointError> {
+    get(spec, key)?
+        .parse()
+        .map_err(|_| CheckpointError::Spec(format!("'{key}' is not a float")))
+}
+
+// ---- body writers -------------------------------------------------
+
+fn put_u8(buf: &mut BytesMut, v: u8) {
+    buf.put_slice(&[v]);
+}
+
+fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut BytesMut, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_len(buf: &mut BytesMut, n: usize) {
+    buf.put_u32_le(u32::try_from(n).expect("section fits u32"));
+}
+
+fn put_job(buf: &mut BytesMut, job: &ClusterJob) {
+    put_u64(buf, job.id as u64);
+    put_u64(buf, job.bench as u64);
+    put_f64(buf, job.arrival);
+    put_len(buf, job.gpus);
+    put_len(buf, job.name.len());
+    buf.put_slice(job.name.as_bytes());
+}
+
+fn put_ids(buf: &mut BytesMut, ids: &[usize]) {
+    put_len(buf, ids.len());
+    for id in ids {
+        put_u64(buf, *id as u64);
+    }
+}
+
+fn put_node_state(buf: &mut BytesMut, state: &NodeRunState) {
+    put_f64(buf, state.clock);
+    put_len(buf, state.free);
+    put_f64(buf, state.busy_gpu_seconds);
+    put_f64(buf, state.wait_sum);
+    put_u64(buf, state.placements as u64);
+    put_u64(buf, state.jobs as u64);
+    put_u64(buf, state.completed as u64);
+    put_u64(buf, state.seq);
+    put_u8(buf, u8::from(state.dirty));
+    put_len(buf, state.arrivals.len());
+    for job in &state.arrivals {
+        put_job(buf, job);
+    }
+    put_len(buf, state.waiting.len());
+    for job in &state.waiting {
+        put_job(buf, job);
+    }
+    put_len(buf, state.running.len());
+    for (finish, gpus, ids) in &state.running {
+        put_f64(buf, *finish);
+        put_len(buf, *gpus);
+        put_ids(buf, ids);
+    }
+    put_len(buf, state.events.len());
+    for event in &state.events {
+        put_f64(buf, event.time);
+        put_u64(buf, event.seq);
+        match &event.kind {
+            EventKind::Arrival { job } => {
+                put_u8(buf, 0);
+                put_u64(buf, *job as u64);
+            }
+            EventKind::Start {
+                job_ids,
+                gpus,
+                duration,
+            } => {
+                put_u8(buf, 1);
+                put_len(buf, *gpus);
+                put_f64(buf, *duration);
+                put_ids(buf, job_ids);
+            }
+            EventKind::Finish { job_ids, gpus } => {
+                put_u8(buf, 2);
+                put_len(buf, *gpus);
+                put_ids(buf, job_ids);
+            }
+        }
+    }
+}
+
+fn put_load(buf: &mut BytesMut, load: &NodeLoad) {
+    put_len(buf, load.total_gpus);
+    put_len(buf, load.free_gpus);
+    put_u64(buf, load.queued_jobs as u64);
+    put_f64(buf, load.outstanding);
+}
+
+fn put_dispatcher(buf: &mut BytesMut, disp: &DispatcherState) {
+    match disp {
+        DispatcherState::CoSched { windows } => {
+            put_u8(buf, 0);
+            put_u64(buf, *windows as u64);
+        }
+        DispatcherState::Backfill(state) => {
+            put_u8(buf, 1);
+            put_len(buf, state.releases.len());
+            for (finish, gpus) in &state.releases {
+                put_f64(buf, *finish);
+                put_len(buf, *gpus);
+            }
+            put_len(buf, state.reservations.len());
+            for (start, end, gpus) in &state.reservations {
+                put_f64(buf, *start);
+                put_f64(buf, *end);
+                put_len(buf, *gpus);
+            }
+            match state.wake {
+                Some(wake) => {
+                    put_u8(buf, 1);
+                    put_f64(buf, wake);
+                }
+                None => put_u8(buf, 0),
+            }
+        }
+    }
+}
+
+// ---- body reader --------------------------------------------------
+
+/// Bounds-checked little-endian reader over the checkpoint body (the
+/// vendored `bytes` accessors panic on underrun; a foreign blob must
+/// produce an error instead).
+struct Body(Bytes);
+
+impl Body {
+    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+        if self.0.remaining() < n {
+            return Err(CheckpointError::Spec("truncated body".into()));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        self.need(1)?;
+        let mut b = [0u8; 1];
+        self.0.copy_to_slice(&mut b);
+        Ok(b[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        self.need(8)?;
+        let mut b = [0u8; 8];
+        self.0.copy_to_slice(&mut b);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn len_prefix(&mut self) -> Result<usize, CheckpointError> {
+        self.need(4)?;
+        Ok(self.0.get_u32_le() as usize)
+    }
+
+    fn take(&mut self, n: usize) -> Result<Bytes, CheckpointError> {
+        self.need(n)?;
+        Ok(self.0.split_to(n))
+    }
+
+    fn job(&mut self) -> Result<ClusterJob, CheckpointError> {
+        let id = self.u64()? as usize;
+        let bench = self.u64()? as usize;
+        let arrival = self.f64()?;
+        let gpus = self.len_prefix()?;
+        let name_len = self.len_prefix()?;
+        let name = String::from_utf8(self.take(name_len)?.to_vec())
+            .map_err(|_| CheckpointError::Spec("job name is not UTF-8".into()))?;
+        Ok(ClusterJob {
+            id,
+            name,
+            bench,
+            arrival,
+            gpus,
+        })
+    }
+
+    fn ids(&mut self) -> Result<Vec<usize>, CheckpointError> {
+        let n = self.len_prefix()?;
+        (0..n).map(|_| Ok(self.u64()? as usize)).collect()
+    }
+
+    fn node_state(
+        &mut self,
+        node: usize,
+        gpus_per_node: usize,
+    ) -> Result<NodeRunState, CheckpointError> {
+        let clock = self.f64()?;
+        let free = self.len_prefix()?;
+        let busy_gpu_seconds = self.f64()?;
+        let wait_sum = self.f64()?;
+        let placements = self.u64()? as usize;
+        let jobs = self.u64()? as usize;
+        let completed = self.u64()? as usize;
+        let seq = self.u64()?;
+        let dirty = self.u8()? != 0;
+        let arrivals = {
+            let n = self.len_prefix()?;
+            (0..n).map(|_| self.job()).collect::<Result<Vec<_>, _>>()?
+        };
+        let waiting = {
+            let n = self.len_prefix()?;
+            (0..n).map(|_| self.job()).collect::<Result<Vec<_>, _>>()?
+        };
+        let running = {
+            let n = self.len_prefix()?;
+            (0..n)
+                .map(|_| Ok((self.f64()?, self.len_prefix()?, self.ids()?)))
+                .collect::<Result<Vec<_>, CheckpointError>>()?
+        };
+        let events = {
+            let n = self.len_prefix()?;
+            (0..n)
+                .map(|_| self.event(node))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(NodeRunState {
+            node,
+            n_gpus: gpus_per_node,
+            clock,
+            free,
+            arrivals,
+            waiting,
+            running,
+            busy_gpu_seconds,
+            wait_sum,
+            placements,
+            jobs,
+            completed,
+            seq,
+            dirty,
+            events,
+        })
+    }
+
+    fn event(&mut self, node: usize) -> Result<NodeEvent, CheckpointError> {
+        let time = self.f64()?;
+        let seq = self.u64()?;
+        let kind = match self.u8()? {
+            0 => EventKind::Arrival {
+                job: self.u64()? as usize,
+            },
+            1 => {
+                let gpus = self.len_prefix()?;
+                let duration = self.f64()?;
+                EventKind::Start {
+                    job_ids: self.ids()?,
+                    gpus,
+                    duration,
+                }
+            }
+            2 => {
+                let gpus = self.len_prefix()?;
+                EventKind::Finish {
+                    job_ids: self.ids()?,
+                    gpus,
+                }
+            }
+            tag => return Err(CheckpointError::Spec(format!("unknown event tag {tag}"))),
+        };
+        Ok(NodeEvent {
+            time,
+            node,
+            seq,
+            kind,
+        })
+    }
+
+    fn load(&mut self, node: usize) -> Result<NodeLoad, CheckpointError> {
+        Ok(NodeLoad {
+            node,
+            total_gpus: self.len_prefix()?,
+            free_gpus: self.len_prefix()?,
+            queued_jobs: self.u64()? as usize,
+            outstanding: self.f64()?,
+        })
+    }
+
+    fn dispatcher(
+        &mut self,
+        kind: SelectorKind,
+        gpus_per_node: usize,
+        walltime_err: f64,
+    ) -> Result<PlacementDispatcher, CheckpointError> {
+        let fresh = dispatcher_for(kind, gpus_per_node, walltime_err);
+        match (self.u8()?, fresh) {
+            (0, PlacementDispatcher::CoSched(mut d)) => {
+                d.restore_windows_scheduled(self.u64()? as usize);
+                Ok(PlacementDispatcher::CoSched(d))
+            }
+            (1, PlacementDispatcher::Backfill(mut p)) => {
+                let releases = {
+                    let n = self.len_prefix()?;
+                    (0..n)
+                        .map(|_| Ok((self.f64()?, self.len_prefix()?)))
+                        .collect::<Result<Vec<_>, CheckpointError>>()?
+                };
+                let reservations = {
+                    let n = self.len_prefix()?;
+                    (0..n)
+                        .map(|_| Ok((self.f64()?, self.f64()?, self.len_prefix()?)))
+                        .collect::<Result<Vec<_>, CheckpointError>>()?
+                };
+                let wake = if self.u8()? != 0 {
+                    Some(self.f64()?)
+                } else {
+                    None
+                };
+                p.restore_state(BackfillState {
+                    releases,
+                    reservations,
+                    wake,
+                });
+                Ok(PlacementDispatcher::Backfill(p))
+            }
+            (tag, _) => Err(CheckpointError::Spec(format!(
+                "dispatcher tag {tag} does not match selector '{}'",
+                kind.name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeReport;
+    use crate::source::ChannelSource;
+    use hrp_cluster::place::{PlacementAgent, PlacementConfig};
+    use hrp_gpusim::GpuArch;
+
+    fn suite() -> Suite {
+        Suite::paper_suite(&GpuArch::a100())
+    }
+
+    fn trace_cfg(kind: TraceKind, jobs: usize, seed: u64) -> TraceConfig {
+        TraceConfig::new(kind, jobs, seed).gang_share(0.25)
+    }
+
+    fn drain<S: ArrivalSource>(mut svc: SchedulerService<'_, S>) -> ServeReport {
+        svc.run_to_close();
+        svc.finish()
+    }
+
+    /// Run until `cut` jobs have been ingested, checkpoint there, then
+    /// finish both halves and demand a bit-identical timeline.
+    fn assert_kill_restore_is_exact<S: ArrivalSource>(
+        mut svc: SchedulerService<'_, S>,
+        cut: usize,
+    ) {
+        let s = suite();
+        while svc.consumed() < cut {
+            assert!(
+                !matches!(svc.step(), crate::service::ServiceStep::Closed),
+                "trace closed before the cut at {cut}"
+            );
+        }
+        let blob = svc.checkpoint().expect("deterministic source");
+        let uninterrupted = drain(svc);
+        let resumed = drain(restore(&s, blob).expect("round trip"));
+        assert_eq!(
+            resumed.report.timeline.digest(),
+            uninterrupted.report.timeline.digest(),
+            "resumed timeline diverged"
+        );
+        assert_eq!(resumed.report.per_node, uninterrupted.report.per_node);
+        assert_eq!(resumed.report.aggregate, uninterrupted.report.aggregate);
+        assert_eq!(resumed.stats, uninterrupted.stats, "logical counters");
+    }
+
+    #[test]
+    fn kill_restore_round_trip_least_loaded() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(4, 2),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, trace_cfg(TraceKind::Bursty, 60, 7)),
+        );
+        assert_kill_restore_is_exact(svc, 30);
+    }
+
+    #[test]
+    fn kill_restore_round_trip_round_robin_cursor() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(3, 2),
+            SelectorKind::RoundRobin,
+            TraceSource::new(&s, trace_cfg(TraceKind::Skewed, 50, 11)),
+        );
+        assert_kill_restore_is_exact(svc, 25);
+    }
+
+    #[test]
+    fn kill_restore_round_trip_backfill_reservations() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(4, 2).walltime_err(0.25),
+            SelectorKind::Conservative,
+            TraceSource::new(&s, trace_cfg(TraceKind::HeavyTail, 60, 13)),
+        );
+        assert_kill_restore_is_exact(svc, 30);
+    }
+
+    #[test]
+    fn kill_restore_round_trip_policy_agent() {
+        let s = suite();
+        let agent = PlacementAgent::untrained(PlacementConfig::quick());
+        let svc = SchedulerService::with_agent(
+            &s,
+            ServeConfig::new(4, 2),
+            agent,
+            TraceSource::new(&s, trace_cfg(TraceKind::Bursty, 40, 5)),
+        );
+        assert_kill_restore_is_exact(svc, 20);
+    }
+
+    #[test]
+    fn kill_restore_round_trip_load_generator() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(4, 2),
+            SelectorKind::LeastLoaded,
+            LoadGen::new(&s, LoadShape::Bursty, 3.0, 40.0, 17),
+        );
+        assert_kill_restore_is_exact(svc, 40);
+    }
+
+    #[test]
+    fn channel_source_refuses_to_checkpoint() {
+        let s = suite();
+        let (_tx, src) = ChannelSource::channel();
+        let svc = SchedulerService::new(&s, ServeConfig::new(2, 2), SelectorKind::LeastLoaded, src);
+        match svc.checkpoint() {
+            Err(CheckpointError::Spec(msg)) => {
+                assert!(msg.contains("channel"), "names the source: {msg}")
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_blobs_are_rejected() {
+        let s = suite();
+        assert!(matches!(
+            restore(&s, Bytes::from(b"HRPP----------------".to_vec())),
+            Err(CheckpointError::NotACheckpoint)
+        ));
+        let mut future = BytesMut::with_capacity(12);
+        future.put_slice(MAGIC);
+        future.put_u32_le(99);
+        future.put_u32_le(0);
+        assert!(matches!(
+            restore(&s, future.freeze()),
+            Err(CheckpointError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_bodies_error_instead_of_panicking() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2),
+            SelectorKind::Easy,
+            TraceSource::new(&s, trace_cfg(TraceKind::Uniform, 20, 3)),
+        );
+        let blob = svc.checkpoint().expect("checkpointable");
+        for cut in [13usize, blob.len() / 2, blob.len() - 1] {
+            let mut clipped = blob.clone();
+            let clipped = clipped.split_to(cut);
+            assert!(
+                restore(&s, clipped).is_err(),
+                "clip at {cut} must be an error"
+            );
+        }
+    }
+}

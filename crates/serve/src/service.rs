@@ -1,0 +1,745 @@
+//! The long-running scheduler service core.
+//!
+//! [`SchedulerService`] wraps a [`ClusterDrive`] behind an
+//! event-driven ingest loop: each [`SchedulerService::step`] pulls
+//! one arrival burst from the [`ArrivalSource`], runs one
+//! *incremental scheduling cycle* at that instant, and routes every
+//! job of the burst through the selector. A cycle re-plans only the
+//! nodes whose slot profile can still change — quiescent nodes (idle,
+//! no pending dispatch, no wakeup hint) are skipped entirely under
+//! [`CycleMode::Incremental`] — yet the produced
+//! [`ClusterTimeline`](hrp_cluster::multinode::ClusterTimeline) is
+//! bit-identical to a batch [`MultiNodeSim`](hrp_cluster::multinode::MultiNodeSim)
+//! replay of the same finite trace: skipping a quiescent node is a
+//! provable no-op (its state cannot change and its load snapshot is
+//! time-invariant), so the batch engines survive as the oracle.
+//!
+//! When the source has nothing to offer, the service sizes its idle
+//! sleep from the dispatchers' [`next_wakeup`](hrp_cluster::sim::Dispatcher::next_wakeup)
+//! hints: [`SchedulerService::next_wakeup`] is the earliest instant
+//! any node wants a cycle with no job event in between (a backfill
+//! reservation expiring), and [`SchedulerService::wake_cycle`] runs
+//! exactly there.
+
+use crate::source::{ArrivalSource, SourcePoll};
+use hrp_cluster::backfill::BackfillPlanner;
+use hrp_cluster::cosched::CoSchedulingDispatcher;
+use hrp_cluster::job::ClusterJob;
+use hrp_cluster::multinode::{ClusterDrive, MultiNodeReport};
+use hrp_cluster::place::{PlacementAgent, PlacementDispatcher};
+use hrp_cluster::select::{
+    BackfillTier, LeastLoaded, NodeSelector, PolicySelector, RoundRobin, SelectorKind,
+};
+use hrp_core::policies::MpsOnly;
+use hrp_core::rl::DqnSnapshot;
+use hrp_workloads::Suite;
+use std::time::Instant;
+
+/// Window size of each node's co-scheduling dispatcher — kept equal
+/// to the batch evaluation geometry (`hrp-bench`'s `CLUSTER_W`) so
+/// service runs are digest-comparable to `repro cluster` rows.
+pub const SERVE_W: usize = 4;
+/// Concurrency cap of each node's co-scheduling dispatcher (mirrors
+/// `hrp-bench`'s `CLUSTER_CMAX`).
+pub const SERVE_CMAX: usize = 4;
+
+/// How much of the cluster a scheduling cycle touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleMode {
+    /// Re-plan only non-quiescent nodes (the dirty set) — the online
+    /// default.
+    Incremental,
+    /// Advance every node every cycle, exactly like the batch epoch
+    /// barrier — the reference the incremental counters are compared
+    /// against.
+    Full,
+}
+
+impl CycleMode {
+    /// Parse a CLI-style name (`incremental` / `full`).
+    ///
+    /// # Errors
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "incremental" => Ok(Self::Incremental),
+            "full" => Ok(Self::Full),
+            other => Err(other.to_owned()),
+        }
+    }
+
+    /// The CLI-style name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Incremental => "incremental",
+            Self::Full => "full",
+        }
+    }
+}
+
+/// Service geometry and cycle policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Cluster nodes (1..=64).
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Walltime-estimate error handed to backfilling planners
+    /// (ignored by the co-scheduling dispatcher kinds).
+    pub walltime_err: f64,
+    /// Cycle mode.
+    pub mode: CycleMode,
+}
+
+impl ServeConfig {
+    /// An incremental-mode service of `nodes` × `gpus_per_node` with
+    /// exact walltime estimates.
+    #[must_use]
+    pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+        Self {
+            nodes,
+            gpus_per_node,
+            walltime_err: 0.0,
+            mode: CycleMode::Incremental,
+        }
+    }
+
+    /// Builder: walltime-estimate error fraction (see
+    /// [`BackfillPlanner::with_walltime_err`]).
+    #[must_use]
+    pub fn walltime_err(mut self, err: f64) -> Self {
+        self.walltime_err = err;
+        self
+    }
+
+    /// Builder: cycle mode.
+    #[must_use]
+    pub fn mode(mut self, mode: CycleMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// The node-local dispatcher a selector kind schedules through, at
+/// the service geometry: backfill tiers get a [`BackfillPlanner`] of
+/// their policy, everything else the co-scheduling window dispatcher —
+/// the same mapping `repro cluster` uses, which is what keeps service
+/// and batch digests comparable per selector.
+#[must_use]
+pub fn dispatcher_for(
+    kind: SelectorKind,
+    gpus_per_node: usize,
+    walltime_err: f64,
+) -> PlacementDispatcher {
+    match kind.backfill_policy() {
+        Some(policy) => PlacementDispatcher::Backfill(
+            BackfillPlanner::new(policy, gpus_per_node).with_walltime_err(walltime_err),
+        ),
+        None => {
+            PlacementDispatcher::CoSched(CoSchedulingDispatcher::new(MpsOnly, SERVE_W, SERVE_CMAX))
+        }
+    }
+}
+
+/// The concrete selector state the service owns — the checkpointable
+/// closed set of [`SelectorKind`]s plus the trained-policy tier.
+pub(crate) enum SelectorState {
+    /// Cyclic placement (cursor is checkpointed).
+    RoundRobin(RoundRobin),
+    /// Greedy least-outstanding-work placement (stateless).
+    LeastLoaded(LeastLoaded),
+    /// Least-loaded placement labeled by its backfill policy
+    /// (stateless).
+    Backfill(BackfillTier),
+    /// A frozen RL policy: the agent (checkpointed as an embedded
+    /// `HRPP` blob) plus the greedy selector wrapping its snapshot.
+    Policy(Box<PlacementAgent>, Box<PolicySelector<DqnSnapshot>>),
+}
+
+impl SelectorState {
+    pub(crate) fn from_kind(kind: SelectorKind) -> Self {
+        match kind {
+            SelectorKind::RoundRobin => Self::RoundRobin(RoundRobin::new()),
+            SelectorKind::LeastLoaded => Self::LeastLoaded(LeastLoaded),
+            SelectorKind::Policy => panic!(
+                "SelectorKind::Policy needs a trained agent; \
+                 build the service via SchedulerService::with_agent"
+            ),
+            SelectorKind::Fcfs | SelectorKind::Easy | SelectorKind::Conservative => {
+                Self::Backfill(BackfillTier::new(kind.backfill_policy().expect("tier")))
+            }
+        }
+    }
+
+    pub(crate) fn from_agent(agent: PlacementAgent) -> Self {
+        let selector = agent.selector();
+        Self::Policy(Box::new(agent), Box::new(selector))
+    }
+
+    pub(crate) fn kind(&self) -> SelectorKind {
+        match self {
+            Self::RoundRobin(_) => SelectorKind::RoundRobin,
+            Self::LeastLoaded(_) => SelectorKind::LeastLoaded,
+            Self::Backfill(tier) => match tier.name() {
+                "fcfs" => SelectorKind::Fcfs,
+                "easy" => SelectorKind::Easy,
+                _ => SelectorKind::Conservative,
+            },
+            Self::Policy(..) => SelectorKind::Policy,
+        }
+    }
+
+    fn select(&mut self, gpus: usize, work: f64, loads: &[hrp_cluster::select::NodeLoad]) -> usize {
+        match self {
+            Self::RoundRobin(s) => s.select(gpus, work, loads),
+            Self::LeastLoaded(s) => s.select(gpus, work, loads),
+            Self::Backfill(s) => s.select(gpus, work, loads),
+            Self::Policy(_, s) => s.select(gpus, work, loads),
+        }
+    }
+}
+
+/// Logical per-service counters, in the style of
+/// [`SyncStats`](hrp_cluster::multinode::SyncStats): pure functions
+/// of the input stream and the cycle mode, never of wall clock or
+/// thread count — so tests can pin them and the incremental-vs-full
+/// savings claim is reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Scheduling cycles triggered by arrival bursts.
+    pub cycles: u64,
+    /// Idle cycles triggered by wakeup hints ([`SchedulerService::settle`] /
+    /// [`SchedulerService::wake_cycle`]).
+    pub wake_cycles: u64,
+    /// Placement decisions made (one per ingested job).
+    pub decisions: u64,
+    /// Node re-plans: a node advanced + load-refreshed during a cycle.
+    pub nodes_replanned: u64,
+    /// Nodes skipped as quiescent by the incremental dirty set.
+    pub nodes_skipped: u64,
+}
+
+/// Decision-latency summary over one service run (microseconds,
+/// nearest-rank percentiles). Wall-clock measurement — excluded from
+/// checkpoints and never part of the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Decisions timed.
+    pub samples: usize,
+    /// Median decision latency in µs.
+    pub p50_us: f64,
+    /// 99th-percentile decision latency in µs.
+    pub p99_us: f64,
+    /// Worst decision latency in µs.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarise raw per-decision seconds (empty input → all zeros).
+    #[must_use]
+    pub fn from_seconds(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                samples: 0,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| -> f64 {
+            // Nearest-rank percentile: ceil(q·n) clamped into range.
+            let i = (q * sorted.len() as f64).ceil() as usize;
+            sorted[i.clamp(1, sorted.len()) - 1] * 1e6
+        };
+        Self {
+            samples: sorted.len(),
+            p50_us: rank(0.50),
+            p99_us: rank(0.99),
+            max_us: sorted[sorted.len() - 1] * 1e6,
+        }
+    }
+}
+
+/// What one [`SchedulerService::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceStep {
+    /// Ran a scheduling cycle at `time`, placing `jobs` jobs.
+    Cycle {
+        /// The arrival instant the cycle ran at.
+        time: f64,
+        /// Jobs placed (the burst size).
+        jobs: usize,
+    },
+    /// The source had nothing available right now; the caller may
+    /// sleep until [`SchedulerService::next_wakeup`] or until new
+    /// input is known to exist.
+    Pending,
+    /// The source is exhausted — call [`SchedulerService::finish`].
+    Closed,
+}
+
+/// Everything a finished service run reports.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// The drained cluster report — aggregate, per-node, and the
+    /// merged deterministic timeline (digest-comparable to batch).
+    pub report: MultiNodeReport,
+    /// Logical service counters.
+    pub stats: ServeStats,
+    /// Wall-clock decision-latency summary.
+    pub latency: LatencySummary,
+}
+
+/// A long-running scheduler service: ingest loop, incremental cycles,
+/// and (via [`crate::checkpoint`]) live `HRPS` checkpoint/restore.
+///
+/// Draining a finite source reproduces the batch engines bit-exactly:
+///
+/// ```
+/// use hrp_cluster::multinode::MultiNodeSim;
+/// use hrp_cluster::select::SelectorKind;
+/// use hrp_cluster::trace::{generate, TraceConfig, TraceKind};
+/// use hrp_gpusim::GpuArch;
+/// use hrp_serve::{SchedulerService, ServeConfig, TraceSource};
+/// use hrp_workloads::Suite;
+///
+/// let suite = Suite::paper_suite(&GpuArch::a100());
+/// // A thin trace (long mean gap) so nodes drain between bursts and
+/// // the incremental dirty set has something to skip.
+/// let cfg = TraceConfig::new(TraceKind::Bursty, 24, 7)
+///     .gang_share(0.25)
+///     .mean_gap(40.0);
+///
+/// // Online: stream the arrivals through the service.
+/// let source = TraceSource::new(&suite, cfg.clone());
+/// let mut service = SchedulerService::new(
+///     &suite,
+///     ServeConfig::new(4, 2),
+///     SelectorKind::LeastLoaded,
+///     source,
+/// );
+/// service.run_to_close();
+/// let served = service.finish();
+///
+/// // Batch oracle: the same trace through MultiNodeSim.
+/// let mut selector = SelectorKind::LeastLoaded.build();
+/// let batch = MultiNodeSim::new(4, 2).run(
+///     &suite,
+///     generate(&suite, &cfg),
+///     selector.as_mut(),
+///     |_| hrp_serve::dispatcher_for(SelectorKind::LeastLoaded, 2, 0.0),
+/// );
+/// assert_eq!(served.report.timeline.digest(), batch.timeline.digest());
+/// assert!(served.stats.nodes_skipped > 0, "dirty set saved re-plans");
+/// ```
+pub struct SchedulerService<'a, S: ArrivalSource> {
+    pub(crate) suite: &'a Suite,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) drive: ClusterDrive<'a, PlacementDispatcher>,
+    pub(crate) selector: SelectorState,
+    pub(crate) source: S,
+    /// The first arrival of the *next* burst, pulled while grouping
+    /// the current one.
+    pub(crate) lookahead: Option<ClusterJob>,
+    /// Instant of the last cycle — arrivals must not move backwards.
+    pub(crate) last_cycle: f64,
+    pub(crate) stats: ServeStats,
+    pub(crate) latencies: Vec<f64>,
+}
+
+impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
+    /// A fresh service over a heuristic selector kind.
+    ///
+    /// # Panics
+    /// Panics for [`SelectorKind::Policy`] (use
+    /// [`SchedulerService::with_agent`]) and on geometry the cluster
+    /// rejects (0 or more than 64 nodes).
+    #[must_use]
+    pub fn new(suite: &'a Suite, cfg: ServeConfig, kind: SelectorKind, source: S) -> Self {
+        Self::build(suite, cfg, SelectorState::from_kind(kind), source)
+    }
+
+    /// A fresh service placing through a trained (or untrained)
+    /// placement agent — the frozen-policy global tier.
+    #[must_use]
+    pub fn with_agent(
+        suite: &'a Suite,
+        cfg: ServeConfig,
+        agent: PlacementAgent,
+        source: S,
+    ) -> Self {
+        Self::build(suite, cfg, SelectorState::from_agent(agent), source)
+    }
+
+    /// Like [`SchedulerService::new`] with explicitly-built node
+    /// dispatchers — the hook for pre-loading backfill planners with
+    /// advance reservations
+    /// ([`BackfillPlanner::with_reservation`]). Reservations live in
+    /// the planner's exported [`BackfillState`](hrp_cluster::backfill::BackfillState),
+    /// so such a service still checkpoints and restores exactly.
+    ///
+    /// # Panics
+    /// Same conditions as [`SchedulerService::new`].
+    #[must_use]
+    pub fn with_dispatchers(
+        suite: &'a Suite,
+        cfg: ServeConfig,
+        kind: SelectorKind,
+        source: S,
+        make_dispatcher: impl FnMut(usize) -> PlacementDispatcher,
+    ) -> Self {
+        let drive = ClusterDrive::new(suite, cfg.nodes, cfg.gpus_per_node, make_dispatcher);
+        Self {
+            suite,
+            cfg,
+            drive,
+            selector: SelectorState::from_kind(kind),
+            source,
+            lookahead: None,
+            last_cycle: 0.0,
+            stats: ServeStats::default(),
+            latencies: Vec::new(),
+        }
+    }
+
+    pub(crate) fn build(
+        suite: &'a Suite,
+        cfg: ServeConfig,
+        selector: SelectorState,
+        source: S,
+    ) -> Self {
+        let kind = selector.kind();
+        let drive = ClusterDrive::new(suite, cfg.nodes, cfg.gpus_per_node, |_| {
+            dispatcher_for(kind, cfg.gpus_per_node, cfg.walltime_err)
+        });
+        Self {
+            suite,
+            cfg,
+            drive,
+            selector,
+            source,
+            lookahead: None,
+            last_cycle: 0.0,
+            stats: ServeStats::default(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// The service geometry.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The selector kind placements run through.
+    #[must_use]
+    pub fn selector_kind(&self) -> SelectorKind {
+        self.selector.kind()
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Jobs the source has handed out so far.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.source.consumed()
+    }
+
+    /// The earliest instant any node's dispatcher wants a cycle with
+    /// no job event in between — the idle-sleep bound for a service
+    /// whose source is [`SourcePoll::Pending`].
+    #[must_use]
+    pub fn next_wakeup(&self) -> Option<f64> {
+        self.drive.next_wakeup()
+    }
+
+    /// Ingest one arrival burst and run one scheduling cycle.
+    ///
+    /// # Panics
+    /// Panics if the source hands out arrivals that move backwards in
+    /// time, or a job wider than a node.
+    pub fn step(&mut self) -> ServiceStep {
+        if self.lookahead.is_none() {
+            match self.source.poll() {
+                SourcePoll::Job(job) => self.lookahead = Some(job),
+                SourcePoll::Pending => return ServiceStep::Pending,
+                SourcePoll::Closed => return ServiceStep::Closed,
+            }
+        }
+        let head = self.lookahead.take().expect("just filled");
+        let t = head.arrival;
+        assert!(
+            t.total_cmp(&self.last_cycle).is_ge(),
+            "source went backwards: arrival {t} before cycle {}",
+            self.last_cycle
+        );
+        // Group the burst: every immediately-available job at the
+        // bitwise-same instant (the grouping the batch epoch driver
+        // uses), holding the first later arrival as lookahead.
+        let mut burst = vec![head];
+        while let SourcePoll::Job(job) = self.source.poll() {
+            if job.arrival.total_cmp(&t).is_eq() {
+                burst.push(job);
+            } else {
+                self.lookahead = Some(job);
+                break;
+            }
+        }
+        let jobs = burst.len();
+        self.cycle(t, burst);
+        ServiceStep::Cycle { time: t, jobs }
+    }
+
+    /// One scheduling cycle at instant `t`: advance the non-quiescent
+    /// nodes, then route every job of the burst.
+    fn cycle(&mut self, t: f64, burst: Vec<ClusterJob>) {
+        self.stats.cycles += 1;
+        self.advance_cluster(t);
+        for job in burst {
+            let work = job.solo_time(self.suite);
+            let started = Instant::now();
+            let node = self.selector.select(job.gpus, work, self.drive.loads());
+            self.latencies.push(started.elapsed().as_secs_f64());
+            self.stats.decisions += 1;
+            self.drive.place(node, job);
+        }
+        self.last_cycle = t;
+    }
+
+    /// Advance the dirty set (or, under [`CycleMode::Full`], every
+    /// node) to `t` and refresh the touched load snapshots.
+    fn advance_cluster(&mut self, t: f64) {
+        self.drive.note_round();
+        for node in 0..self.cfg.nodes {
+            if self.cfg.mode == CycleMode::Incremental && self.drive.node_is_quiescent(node) {
+                self.stats.nodes_skipped += 1;
+            } else {
+                self.drive.advance_node_to(node, t);
+                self.stats.nodes_replanned += 1;
+            }
+        }
+    }
+
+    /// An empty cycle at instant `t`: advance the dirty set with no
+    /// arrivals to place. This is how idle time passes for a live
+    /// service — deferred dispatches run, reservation wakeups fire,
+    /// and [`SchedulerService::next_wakeup`] reflects the settled
+    /// state. The caller promises no arrival earlier than `t` will be
+    /// ingested afterwards (the same monotonicity the sources already
+    /// guarantee).
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last cycle.
+    pub fn settle(&mut self, t: f64) {
+        assert!(
+            t.total_cmp(&self.last_cycle).is_ge(),
+            "settle at {t} before cycle {}",
+            self.last_cycle
+        );
+        self.stats.wake_cycles += 1;
+        self.advance_cluster(t);
+        self.last_cycle = t;
+    }
+
+    /// Run one idle cycle exactly at the earliest dispatcher wakeup
+    /// hint, if any — the service's cycle-timer consumption of
+    /// [`Dispatcher::next_wakeup`](hrp_cluster::sim::Dispatcher::next_wakeup).
+    /// Returns the instant it woke at.
+    pub fn wake_cycle(&mut self) -> Option<f64> {
+        let wake = self.next_wakeup()?;
+        self.settle(wake);
+        Some(wake)
+    }
+
+    /// Drive [`SchedulerService::step`] until the source closes,
+    /// serving wakeup hints while it pends. Intended for sources that
+    /// eventually close (finite traces, load generators, channels
+    /// whose producers hang up); a live deployment drives `step` /
+    /// `settle` itself.
+    pub fn run_to_close(&mut self) {
+        loop {
+            match self.step() {
+                ServiceStep::Cycle { .. } => {}
+                ServiceStep::Pending => {
+                    if self.wake_cycle().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+                ServiceStep::Closed => break,
+            }
+        }
+    }
+
+    /// Drain every node to the end of time and report. The final
+    /// drain consumes remaining wakeup hints internally, so a blocked
+    /// queue behind a reservation still completes.
+    ///
+    /// # Panics
+    /// Panics if a node's dispatcher strands jobs (the per-node
+    /// deadlock check).
+    #[must_use]
+    pub fn finish(mut self) -> ServeReport {
+        let report = self.drive.finish();
+        ServeReport {
+            report,
+            stats: self.stats,
+            latency: LatencySummary::from_seconds(&self.latencies),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ChannelSource, TraceSource};
+    use hrp_cluster::backfill::BackfillPolicy;
+    use hrp_cluster::multinode::MultiNodeSim;
+    use hrp_cluster::trace::{generate, TraceConfig, TraceKind};
+    use hrp_gpusim::GpuArch;
+
+    fn suite() -> Suite {
+        Suite::paper_suite(&GpuArch::a100())
+    }
+
+    /// The satellite contract for wakeup hints: an idle service whose
+    /// only job is blocked behind an advance reservation sleeps until
+    /// *exactly* the hinted reservation expiry, wakes there, and the
+    /// job starts at that instant.
+    #[test]
+    fn idle_service_wakes_exactly_at_the_hinted_reservation_start() {
+        let s = suite();
+        let (tx, src) = ChannelSource::channel();
+        let mut svc = SchedulerService::with_dispatchers(
+            &s,
+            ServeConfig::new(1, 2),
+            SelectorKind::Easy,
+            src,
+            |_| {
+                PlacementDispatcher::Backfill(
+                    // GPUs are reserved over [5, 30), so a 2-GPU job
+                    // arriving at 10 cannot start before 30.
+                    BackfillPlanner::new(BackfillPolicy::Easy, 2).with_reservation(5.0, 25.0, 2),
+                )
+            },
+        );
+        tx.send(ClusterJob::new(0, "lavaMD", 10.0, 2, &s)).unwrap();
+        assert_eq!(
+            svc.step(),
+            ServiceStep::Cycle {
+                time: 10.0,
+                jobs: 1
+            }
+        );
+        // Absorb the arrival (dispatch at 10 is blocked by the
+        // reservation); the planner now hints its expiry.
+        svc.settle(11.0);
+        assert_eq!(svc.next_wakeup(), Some(30.0), "hint is the expiry");
+        assert_eq!(svc.wake_cycle(), Some(30.0), "service wakes exactly there");
+        drop(tx);
+        assert_eq!(svc.step(), ServiceStep::Closed);
+        let report = svc.finish();
+        // lavaMD on 2 GPUs runs 19 s: start 30, finish 49.
+        let makespan = report.report.aggregate.makespan;
+        assert!((makespan - 49.0).abs() < 1e-9, "makespan {makespan}");
+        assert_eq!(report.stats.wake_cycles, 2, "settle(11) + wake_cycle(30)");
+        assert_eq!(report.stats.decisions, 1);
+    }
+
+    /// Incremental and full cycle modes are digest-identical (and both
+    /// match the batch oracle); incremental provably re-plans fewer
+    /// nodes on a thin trace.
+    #[test]
+    fn incremental_mode_matches_full_mode_with_fewer_replans() {
+        let s = suite();
+        // Thin bursty arrivals: bursts of 2–5 jobs touch a strict
+        // subset of the 4 nodes and the long gaps let the rest drain
+        // to quiescence, so the dirty set has nodes to skip.
+        let cfg = TraceConfig::new(TraceKind::Bursty, 40, 9)
+            .gang_share(0.25)
+            .mean_gap(40.0);
+        let run = |mode: CycleMode| {
+            let mut svc = SchedulerService::new(
+                &s,
+                ServeConfig::new(4, 2).mode(mode),
+                SelectorKind::LeastLoaded,
+                TraceSource::new(&s, cfg.clone()),
+            );
+            svc.run_to_close();
+            svc.finish()
+        };
+        let incremental = run(CycleMode::Incremental);
+        let full = run(CycleMode::Full);
+        assert_eq!(
+            incremental.report.timeline.digest(),
+            full.report.timeline.digest()
+        );
+        let mut selector = SelectorKind::LeastLoaded.build();
+        let batch = MultiNodeSim::new(4, 2).run(&s, generate(&s, &cfg), selector.as_mut(), |_| {
+            dispatcher_for(SelectorKind::LeastLoaded, 2, 0.0)
+        });
+        assert_eq!(
+            incremental.report.timeline.digest(),
+            batch.timeline.digest()
+        );
+        assert!(
+            incremental.stats.nodes_replanned < full.stats.nodes_replanned,
+            "dirty set saved work: {} vs {}",
+            incremental.stats.nodes_replanned,
+            full.stats.nodes_replanned
+        );
+        // Every cycle accounts for every node, skipped or re-planned.
+        for r in [&incremental, &full] {
+            assert_eq!(
+                r.stats.nodes_replanned + r.stats.nodes_skipped,
+                (r.stats.cycles + r.stats.wake_cycles) * 4
+            );
+        }
+    }
+
+    #[test]
+    fn latency_summary_uses_nearest_rank_percentiles() {
+        let micros: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-6).collect();
+        let summary = LatencySummary::from_seconds(&micros);
+        assert_eq!(summary.samples, 100);
+        assert!((summary.p50_us - 50.0).abs() < 1e-9);
+        assert!((summary.p99_us - 99.0).abs() < 1e-9);
+        assert!((summary.max_us - 100.0).abs() < 1e-9);
+        let empty = LatencySummary::from_seconds(&[]);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.max_us, 0.0);
+    }
+
+    #[test]
+    fn dispatcher_for_maps_selector_families() {
+        for kind in [
+            SelectorKind::RoundRobin,
+            SelectorKind::LeastLoaded,
+            SelectorKind::Policy,
+        ] {
+            assert!(matches!(
+                dispatcher_for(kind, 2, 0.0),
+                PlacementDispatcher::CoSched(_)
+            ));
+        }
+        for kind in [
+            SelectorKind::Fcfs,
+            SelectorKind::Easy,
+            SelectorKind::Conservative,
+        ] {
+            match dispatcher_for(kind, 2, 0.25) {
+                PlacementDispatcher::Backfill(p) => {
+                    assert_eq!(p.policy(), kind.backfill_policy().unwrap());
+                    assert!((p.walltime_err() - 0.25).abs() < 1e-12);
+                }
+                PlacementDispatcher::CoSched(_) => panic!("{} must backfill", kind.name()),
+            }
+        }
+    }
+}

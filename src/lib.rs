@@ -33,6 +33,11 @@
 //!   placement (round-robin / least-loaded / a trained RL policy
 //!   whose rewards come from the simulation itself),
 //!   FCFS+backfilling comparator, queue-pressure policy selection.
+//! * [`serve`] — the online scheduler service over the cluster
+//!   engines: streaming arrivals ([`serve::ArrivalSource`]),
+//!   incremental dirty-set decision cycles that stay digest-identical
+//!   to the batch engines, and live `HRPS` checkpoint/restore
+//!   (`repro serve`).
 //!
 //! # Quickstart
 //!
@@ -61,6 +66,7 @@ pub use hrp_core as core;
 pub use hrp_gpusim as gpusim;
 pub use hrp_nn as nn;
 pub use hrp_profile as profile;
+pub use hrp_serve as serve;
 pub use hrp_workloads as workloads;
 
 /// The most commonly used types across the workspace.

@@ -1,0 +1,219 @@
+//! Golden regression for the online scheduler service, in the style of
+//! `tests/golden_cluster.rs`: for every generated trace kind, the
+//! 4-node least-loaded service drain of a deterministic 96-job trace
+//! is pinned by its merged-event digest, bit-exact makespan, and the
+//! logical cycle counters — and each pin must also be reproduced by a
+//! service *killed* at one fixed mid-trace point (48 consumed jobs),
+//! checkpointed to an `HRPS` blob, restored, and drained. A refactor
+//! of the service cycle, the dirty-set rule, or the checkpoint format
+//! that moves one event or re-plans one extra node is caught here.
+//!
+//! Golden values captured from the initial `hrp-serve` implementation
+//! at `ServeConfig::new(4, 2)`, `CycleMode::Incremental`,
+//! `TraceConfig::new(kind, 96, 42).max_gpus(2).mean_gap(12.0)
+//! .gang_share(0.25)`. Regenerate with:
+//!
+//! ```text
+//! cargo test --test golden_serve -- --ignored print_golden_serve_pins --nocapture
+//! ```
+
+use hrp::cluster::trace::{TraceConfig, TraceKind};
+use hrp::cluster::SelectorKind;
+use hrp::prelude::*;
+use hrp::serve::{restore, SchedulerService, ServeConfig, ServeReport, ServiceStep, TraceSource};
+
+const NODES: usize = 4;
+const GPUS_PER_NODE: usize = 2;
+const N_JOBS: usize = 96;
+const SEED: u64 = 42;
+const MEAN_GAP: f64 = 12.0;
+const GANG_SHARE: f64 = 0.25;
+/// The fixed kill point: consumed jobs at which the service is
+/// checkpointed and discarded.
+const KILL_AT: usize = 48;
+
+struct Golden {
+    kind: TraceKind,
+    digest: u64,
+    events: usize,
+    makespan: u64,
+    replanned: u64,
+    skipped: u64,
+}
+
+/// Captured from the initial implementation (see module docs).
+fn golden_runs() -> Vec<Golden> {
+    vec![
+        Golden {
+            kind: TraceKind::Uniform,
+            digest: 0x2a49_de31_dd40_6b21,
+            events: 288,
+            makespan: 0x4092_f477_d33c_e86d, // 1213.117016…
+            replanned: 275,
+            skipped: 109,
+        },
+        Golden {
+            kind: TraceKind::Bursty,
+            digest: 0x2b14_4607_7339_c54c,
+            events: 276,
+            makespan: 0x4093_6328_936a_75eb, // 1240.789624…
+            replanned: 102,
+            skipped: 10,
+        },
+        Golden {
+            kind: TraceKind::Skewed,
+            digest: 0x9b7a_91b6_b703_1812,
+            events: 284,
+            makespan: 0x4092_a3c4_aec5_22b7, // 1192.942072…
+            replanned: 188,
+            skipped: 4,
+        },
+        Golden {
+            kind: TraceKind::HeavyTail,
+            digest: 0xf6ae_0dc1_bbb8_a115,
+            events: 288,
+            makespan: 0x4092_42f9_256f_238a, // 1168.743306…
+            replanned: 244,
+            skipped: 140,
+        },
+        Golden {
+            kind: TraceKind::Colocate,
+            digest: 0xf01a_473c_28b0_d50e,
+            events: 288,
+            makespan: 0x4091_f711_e76a_1b0c, // 1149.767484…
+            replanned: 269,
+            skipped: 115,
+        },
+        Golden {
+            kind: TraceKind::Staggered,
+            digest: 0xe1be_cc6c_4fdc_4fb2,
+            events: 214,
+            makespan: 0x407c_7836_a48d_f160, // 455.513340…
+            replanned: 96,
+            skipped: 0,
+        },
+    ]
+}
+
+fn trace_cfg(kind: TraceKind) -> TraceConfig {
+    TraceConfig::new(kind, N_JOBS, SEED)
+        .max_gpus(GPUS_PER_NODE)
+        .mean_gap(MEAN_GAP)
+        .gang_share(GANG_SHARE)
+}
+
+fn fresh_service(suite: &Suite, kind: TraceKind) -> SchedulerService<'_, TraceSource<'_>> {
+    SchedulerService::new(
+        suite,
+        ServeConfig::new(NODES, GPUS_PER_NODE),
+        SelectorKind::LeastLoaded,
+        TraceSource::new(suite, trace_cfg(kind)),
+    )
+}
+
+/// The uninterrupted drain.
+fn run_uninterrupted(suite: &Suite, kind: TraceKind) -> ServeReport {
+    let mut service = fresh_service(suite, kind);
+    service.run_to_close();
+    service.finish()
+}
+
+/// Kill at [`KILL_AT`] consumed jobs, restore from the blob, drain.
+fn run_killed_and_restored(suite: &Suite, kind: TraceKind) -> ServeReport {
+    let mut service = fresh_service(suite, kind);
+    while service.consumed() < KILL_AT {
+        match service.step() {
+            ServiceStep::Cycle { .. } => {}
+            ServiceStep::Pending => {
+                service.wake_cycle();
+            }
+            ServiceStep::Closed => break,
+        }
+    }
+    let blob = service.checkpoint().expect("trace services checkpoint");
+    drop(service); // the kill
+    let mut resumed = restore(suite, blob).expect("restore from HRPS blob");
+    resumed.run_to_close();
+    resumed.finish()
+}
+
+#[test]
+fn served_schedules_match_the_golden_pin_uninterrupted_and_killed() {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    for golden in golden_runs() {
+        let label = golden.kind.name();
+        let full = run_uninterrupted(&suite, golden.kind);
+        assert_eq!(
+            full.report.timeline.digest(),
+            golden.digest,
+            "timeline digest drifted ({label})"
+        );
+        assert_eq!(
+            full.report.timeline.len(),
+            golden.events,
+            "event count ({label})"
+        );
+        assert_eq!(
+            full.report.aggregate.makespan.to_bits(),
+            golden.makespan,
+            "makespan drifted ({label}): {}",
+            full.report.aggregate.makespan
+        );
+        assert_eq!(
+            full.stats.nodes_replanned, golden.replanned,
+            "dirty-set re-plan count drifted ({label})"
+        );
+        assert_eq!(
+            full.stats.nodes_skipped, golden.skipped,
+            "dirty-set skip count drifted ({label})"
+        );
+        assert_eq!(full.report.completed_jobs(), N_JOBS, "{label}");
+
+        let resumed = run_killed_and_restored(&suite, golden.kind);
+        assert_eq!(
+            resumed.report.timeline.digest(),
+            golden.digest,
+            "kill/restore at {KILL_AT} jobs changed the schedule ({label})"
+        );
+        assert_eq!(
+            resumed.report.timeline.events, full.report.timeline.events,
+            "{label}"
+        );
+        assert_eq!(resumed.report.per_node, full.report.per_node, "{label}");
+        assert_eq!(resumed.report.aggregate, full.report.aggregate, "{label}");
+        assert_eq!(
+            resumed.stats, full.stats,
+            "logical counters diverged after restore ({label})"
+        );
+    }
+}
+
+/// Regenerates the `golden_runs` table (run with `--ignored
+/// --nocapture` and paste).
+#[test]
+#[ignore = "pin printer, not a regression check"]
+fn print_golden_serve_pins() {
+    let suite = Suite::paper_suite(&GpuArch::a100());
+    for kind in [
+        TraceKind::Uniform,
+        TraceKind::Bursty,
+        TraceKind::Skewed,
+        TraceKind::HeavyTail,
+        TraceKind::Colocate,
+        TraceKind::Staggered,
+    ] {
+        let r = run_uninterrupted(&suite, kind);
+        println!(
+            "        Golden {{\n            kind: TraceKind::{kind:?},\n            \
+             digest: {:#018x},\n            events: {},\n            \
+             makespan: {:#018x}, // {}\n            replanned: {},\n            \
+             skipped: {},\n        }},",
+            r.report.timeline.digest(),
+            r.report.timeline.len(),
+            r.report.aggregate.makespan.to_bits(),
+            r.report.aggregate.makespan,
+            r.stats.nodes_replanned,
+            r.stats.nodes_skipped,
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests (proptest) for the online scheduler service's
+//! determinism contract (`hrp-serve`):
+//!
+//! * draining any finite generated trace through the service — under
+//!   either cycle mode — produces a merged timeline bit-identical to a
+//!   batch `MultiNodeSim` barrier run of the same jobs, for every
+//!   selector family and any batch thread count;
+//! * a service checkpointed at an arbitrary cycle and restored from
+//!   the `HRPS` blob finishes with exactly the report the
+//!   uninterrupted run produces — events, per-node rows, aggregate,
+//!   and the logical cycle counters;
+//! * the same kill/resume exactness holds for the open-loop load
+//!   generator, whose RNG cursor the restore replays.
+//!
+//! Set `HRP_TEST_THREADS` to pick the parallel worker count the batch
+//! oracle runs under (CI runs the suite under 1 and 4).
+
+mod common;
+use common::test_threads;
+
+use hrp::cluster::multinode::MultiNodeSim;
+use hrp::cluster::trace::{generate, TraceConfig, TraceKind};
+use hrp::cluster::SelectorKind;
+use hrp::prelude::*;
+use hrp::serve::{
+    dispatcher_for, restore, CycleMode, LoadGen, LoadShape, SchedulerService, ServeConfig,
+    ServiceStep, TraceSource,
+};
+use proptest::prelude::*;
+
+fn suite() -> Suite {
+    Suite::paper_suite(&GpuArch::a100())
+}
+
+const KINDS: [TraceKind; 6] = [
+    TraceKind::Uniform,
+    TraceKind::Bursty,
+    TraceKind::Skewed,
+    TraceKind::HeavyTail,
+    TraceKind::Colocate,
+    TraceKind::Staggered,
+];
+
+const SELECTORS: [SelectorKind; 5] = [
+    SelectorKind::RoundRobin,
+    SelectorKind::LeastLoaded,
+    SelectorKind::Fcfs,
+    SelectorKind::Easy,
+    SelectorKind::Conservative,
+];
+
+/// Advance a service until its source has handed out at least `cut`
+/// jobs (or closed).
+fn run_until_consumed<S: hrp::serve::ArrivalSource>(svc: &mut SchedulerService<'_, S>, cut: usize) {
+    while svc.consumed() < cut {
+        match svc.step() {
+            ServiceStep::Cycle { .. } => {}
+            ServiceStep::Pending => {
+                svc.wake_cycle();
+            }
+            ServiceStep::Closed => break,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn service_drain_is_digest_identical_to_the_batch_barrier(
+        kind_idx in 0usize..6,
+        sel_idx in 0usize..5,
+        n_jobs in 1usize..=40,
+        seed in 0u64..u64::MAX,
+        mean_gap in 1.0f64..60.0,
+        gang in 0.0f64..0.5,
+        nodes in 1usize..=4,
+        werr in 0.0f64..0.5,
+        incremental in any::<bool>(),
+    ) {
+        let s = suite();
+        let kind = SELECTORS[sel_idx];
+        let cfg = TraceConfig::new(KINDS[kind_idx], n_jobs, seed)
+            .max_gpus(2)
+            .mean_gap(mean_gap)
+            .gang_share(gang);
+        let mode = if incremental { CycleMode::Incremental } else { CycleMode::Full };
+        let mut service = SchedulerService::new(
+            &s,
+            ServeConfig::new(nodes, 2).walltime_err(werr).mode(mode),
+            kind,
+            TraceSource::new(&s, cfg.clone()),
+        );
+        service.run_to_close();
+        let served = service.finish();
+        for threads in [1, test_threads()] {
+            let mut sel = kind.build();
+            let batch = MultiNodeSim::new(nodes, 2)
+                .with_threads(threads)
+                .run(&s, generate(&s, &cfg), sel.as_mut(), |_| {
+                    dispatcher_for(kind, 2, werr)
+                });
+            prop_assert_eq!(&served.report.timeline.events, &batch.timeline.events,
+                "service drifted from the batch oracle ({} mode, {} threads)",
+                mode.name(), threads);
+            prop_assert_eq!(served.report.timeline.digest(), batch.timeline.digest());
+            prop_assert_eq!(&served.report.per_node, &batch.per_node);
+            prop_assert_eq!(&served.report.aggregate, &batch.aggregate);
+        }
+        prop_assert_eq!(served.stats.decisions as usize, n_jobs);
+        if mode == CycleMode::Full {
+            prop_assert_eq!(served.stats.nodes_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_at_an_arbitrary_cycle_restores_bit_exactly(
+        kind_idx in 0usize..6,
+        sel_idx in 0usize..5,
+        n_jobs in 1usize..=40,
+        seed in 0u64..u64::MAX,
+        mean_gap in 1.0f64..60.0,
+        nodes in 1usize..=4,
+        werr in 0.0f64..0.5,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let s = suite();
+        let kind = SELECTORS[sel_idx];
+        let cfg = TraceConfig::new(KINDS[kind_idx], n_jobs, seed)
+            .max_gpus(2)
+            .mean_gap(mean_gap)
+            .gang_share(0.25);
+        let cut = ((n_jobs as f64) * cut_frac) as usize;
+        let mut original = SchedulerService::new(
+            &s,
+            ServeConfig::new(nodes, 2).walltime_err(werr),
+            kind,
+            TraceSource::new(&s, cfg),
+        );
+        run_until_consumed(&mut original, cut);
+        let blob = original.checkpoint().expect("trace services checkpoint");
+        original.run_to_close();
+        let uninterrupted = original.finish();
+
+        let mut resumed = restore(&s, blob).expect("round-trip restore");
+        prop_assert_eq!(resumed.selector_kind(), kind);
+        resumed.run_to_close();
+        let restored = resumed.finish();
+
+        prop_assert_eq!(&restored.report.timeline.events, &uninterrupted.report.timeline.events,
+            "kill at {} consumed jobs changed the schedule", cut);
+        prop_assert_eq!(restored.report.timeline.digest(), uninterrupted.report.timeline.digest());
+        prop_assert_eq!(&restored.report.per_node, &uninterrupted.report.per_node);
+        prop_assert_eq!(&restored.report.aggregate, &uninterrupted.report.aggregate);
+        prop_assert_eq!(restored.stats, uninterrupted.stats,
+            "logical counters must survive the kill");
+    }
+
+    #[test]
+    fn load_generator_kill_resume_is_exact(
+        bursty in any::<bool>(),
+        rate in 0.5f64..12.0,
+        duration in 5.0f64..80.0,
+        seed in 0u64..u64::MAX,
+        nodes in 1usize..=4,
+        cut in 0usize..30,
+    ) {
+        let s = suite();
+        let shape = if bursty { LoadShape::Bursty } else { LoadShape::Poisson };
+        let fresh = || {
+            SchedulerService::new(
+                &s,
+                ServeConfig::new(nodes, 2),
+                SelectorKind::LeastLoaded,
+                LoadGen::new(&s, shape, rate, duration, seed),
+            )
+        };
+        let mut original = fresh();
+        run_until_consumed(&mut original, cut);
+        let blob = original.checkpoint().expect("load generators checkpoint");
+        original.run_to_close();
+        let uninterrupted = original.finish();
+
+        let mut resumed = restore(&s, blob).expect("round-trip restore");
+        resumed.run_to_close();
+        let restored = resumed.finish();
+        prop_assert_eq!(&restored.report.timeline.events, &uninterrupted.report.timeline.events);
+        prop_assert_eq!(&restored.report.aggregate, &uninterrupted.report.aggregate);
+        prop_assert_eq!(restored.stats, uninterrupted.stats);
+    }
+}
