@@ -7,6 +7,7 @@
 //!       [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered]
 //!       [--chunk-width W] [--walltime-err F] [--reps N]
 //!       [--source trace|poisson|bursty] [--rate F] [--duration F]
+//!       [--users N] [--user-skew F] [--quota N] [--slo F]
 //!       [--checkpoint PATH] [--restore PATH]
 //!       [--out DIR] <command>
 //!
@@ -86,14 +87,40 @@
 //! `serve_run` table and a `# digest` line — a restored run's digest
 //! is bit-identical to the uninterrupted one's.
 //!
+//! `--users N` tags arrivals with `N` Zipf-skewed tenants
+//! (`--user-skew` overrides the exponent) and puts the admission
+//! tier in front of the selector. With the default `--source trace`
+//! and no checkpoint flags, `serve --users` runs the *fairness*
+//! bench instead of the throughput bench: admission-controlled
+//! fair-share versus the plain FCFS front door on the skewed and
+//! bursty traces, per-tenant slowdown spread and Jain's index
+//! reported per row and persisted as `BENCH_9.json` (the harness
+//! pins its own quota/half-life, so `--quota`/`--slo`/`--user-skew`
+//! are rejected there; at the pinned seed/tenant defaults it also
+//! asserts the acceptance gate — Jain strictly improves at ≤ 2 %
+//! makespan cost). On a single service run (a load generator,
+//! `--checkpoint`) the knobs apply directly: `--quota N` caps each
+//! tenant's in-flight jobs and `--slo F` rejects arrivals whose
+//! projected slowdown exceeds `F`; the report gains the
+//! deferred/rejected counters and a `# admission digest` line.
+//! `repro cluster --users N` tags the evaluation trace the same way
+//! and appends a `cluster_fairness` table (per-tenant Jain/spread
+//! per selector row). `--restore` rebuilds the tagged source and
+//! admission tier from the snapshot, so the fairness flags are
+//! rejected there.
+//!
 //! Malformed invocations (unknown flags or commands, missing or
 //! unparsable values, `--shards 0`, `--nodes 0`, `--chunk-width 0`
 //! (or negative/non-finite), `--walltime-err` outside `[0, 1)` (or
 //! NaN), `--reps 0`, `--rate`/`--duration` zero, negative, or
-//! non-finite, `--env`/`--selector`/`--trace`/`--source` typos,
+//! non-finite, `--users 0`, `--user-skew` zero, negative, or NaN,
+//! `--quota 0`, `--slo` zero, negative, or NaN,
+//! `--user-skew`/`--quota`/`--slo` without `--users`,
+//! `--env`/`--selector`/`--trace`/`--source` typos,
 //! `--checkpoint` colliding with `--restore`, `serve --selector
-//! policy`) exit with status 2 and a usage message rather than
-//! panicking or silently defaulting.
+//! policy`, fairness flags combined with `--restore`) exit with
+//! status 2 and a usage message rather than panicking or silently
+//! defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -149,6 +176,14 @@ struct Options {
     checkpoint: Option<PathBuf>,
     /// `serve`: rebuild a killed service from this snapshot.
     restore: Option<PathBuf>,
+    /// Tenants to tag arrivals with (0 = untagged, admission off).
+    users: u32,
+    /// Zipf exponent of the tenant popularity (`None` = the default).
+    user_skew: Option<f64>,
+    /// Per-tenant in-flight quota of the admission tier.
+    quota: Option<usize>,
+    /// Reject SLO (projected-slowdown bound) of the admission tier.
+    slo: Option<f64>,
 }
 
 /// Where the `serve` command's arrivals come from.
@@ -194,6 +229,7 @@ const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap]
 [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered] \
 [--chunk-width W] [--walltime-err F] [--reps N] \
 [--source trace|poisson|bursty] [--rate F] [--duration F] \
+[--users N] [--user-skew F] [--quota N] [--slo F] \
 [--checkpoint PATH] [--restore PATH] \
 [--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
@@ -243,6 +279,10 @@ fn main() {
         duration: 60.0,
         checkpoint: None,
         restore: None,
+        users: 0,
+        user_skew: None,
+        quota: None,
+        slo: None,
     };
     let mut cmd: Option<&str> = None;
     let mut it = args.iter();
@@ -351,6 +391,44 @@ fn main() {
                 }
                 opts.duration = d;
             }
+            "--users" => {
+                let raw = flag_value(&mut it, "--users");
+                let n: u32 = parse_flag("--users", raw);
+                if n == 0 {
+                    fail("--users must be at least 1 (omit the flag for an untagged trace)");
+                }
+                opts.users = n;
+            }
+            "--user-skew" => {
+                let raw = flag_value(&mut it, "--user-skew");
+                let s: f64 = parse_flag("--user-skew", raw);
+                // NaN fails the comparison too; reject it alongside
+                // zero and the negatives.
+                if !(s.is_finite() && s > 0.0) {
+                    fail(&format!(
+                        "--user-skew must be positive and finite (got '{raw}')"
+                    ));
+                }
+                opts.user_skew = Some(s);
+            }
+            "--quota" => {
+                let raw = flag_value(&mut it, "--quota");
+                let n: usize = parse_flag("--quota", raw);
+                if n == 0 {
+                    fail("--quota must be at least 1 (nothing could ever be admitted)");
+                }
+                opts.quota = Some(n);
+            }
+            "--slo" => {
+                let raw = flag_value(&mut it, "--slo");
+                let s: f64 = parse_flag("--slo", raw);
+                // Infinity is allowed (never reject); NaN, zero, and
+                // the negatives are not.
+                if s.is_nan() || s <= 0.0 {
+                    fail(&format!("--slo must be positive (got '{raw}')"));
+                }
+                opts.slo = Some(s);
+            }
             "--checkpoint" => {
                 opts.checkpoint = Some(PathBuf::from(flag_value(&mut it, "--checkpoint")));
             }
@@ -382,6 +460,9 @@ fn main() {
     let Some(cmd) = cmd else {
         fail("missing command");
     };
+    if opts.users == 0 && (opts.user_skew.is_some() || opts.quota.is_some() || opts.slo.is_some()) {
+        fail("--user-skew/--quota/--slo require --users (tenant-tagged arrivals)");
+    }
 
     let suite = Suite::paper_suite(&GpuArch::a100());
     match cmd {
@@ -717,11 +798,19 @@ fn oracle_cmd(suite: &Suite, opts: &Options) {
 }
 
 fn cluster_cmd(suite: &Suite, opts: &Options) {
-    use hrp_bench::cluster::{evaluation_trace, placement_comparison, ComparisonOptions};
+    use hrp_bench::cluster::{evaluation_trace_cfg, placement_comparison, ComparisonOptions};
+    use hrp_cluster::trace::generate;
     // 96 jobs even under --quick: shorter traces leave the backfill
     // selectors too few blocked gangs to be distinguishable from FCFS.
     let n_jobs = if opts.quick { 96 } else { 144 };
-    let jobs = evaluation_trace(suite, opts.trace, n_jobs, opts.seed);
+    let mut trace_cfg = evaluation_trace_cfg(opts.trace, n_jobs, opts.seed);
+    if opts.users > 0 {
+        trace_cfg = trace_cfg.users(opts.users);
+        if let Some(skew) = opts.user_skew {
+            trace_cfg = trace_cfg.user_skew(skew);
+        }
+    }
+    let jobs = generate(suite, &trace_cfg);
     // A policy run always shows the heuristics it is measured against,
     // and a backfilling run the other backfill policies; the requested
     // selector is always the last (focus) row. A plain heuristic run
@@ -830,6 +919,23 @@ fn cluster_cmd(suite: &Suite, opts: &Options) {
         "-".into(),
     ]);
     t.emit("cluster_scaling", opts.out.as_deref());
+
+    // `--users N` tags the trace with Zipf-skewed tenants; report the
+    // per-tenant slowdown balance every selector row achieved.
+    if opts.users > 0 {
+        use hrp_cluster::fair::user_fairness;
+        let mut ft = Table::new(&["row", "tenants", "jain", "spread"]);
+        for row in &cmp.rows {
+            let fairness = user_fairness(suite, &jobs, &row.report.timeline.events);
+            ft.row(vec![
+                row.selector.clone(),
+                fairness.per_user.len().to_string(),
+                f3(fairness.jain),
+                f3(fairness.spread),
+            ]);
+        }
+        ft.emit("cluster_fairness", opts.out.as_deref());
+    }
 }
 
 fn bench_cluster_cmd(suite: &Suite, opts: &Options) {
@@ -883,7 +989,9 @@ fn bench_cluster_cmd(suite: &Suite, opts: &Options) {
 
 fn serve_cmd(suite: &Suite, opts: &Options) {
     use hrp_bench::serve::{serve_bench_trace_cfg, ServeBenchConfig, SERVE_BENCH_GPUS_PER_NODE};
-    use hrp_serve::{restore_file, LoadGen, SchedulerService, ServeConfig, TraceSource};
+    use hrp_serve::{
+        restore_file, AdmissionConfig, LoadGen, SchedulerService, ServeConfig, TraceSource,
+    };
 
     if opts.selector == SelectorKind::Policy {
         fail(
@@ -900,6 +1008,12 @@ fn serve_cmd(suite: &Suite, opts: &Options) {
         }
         fail(
             "--checkpoint cannot be combined with --restore (restore, then checkpoint a later run)",
+        );
+    }
+    if opts.restore.is_some() && opts.users > 0 {
+        fail(
+            "--restore rebuilds the tagged source and admission tier from the snapshot; \
+             --users/--user-skew/--quota/--slo have no effect there",
         );
     }
 
@@ -927,16 +1041,53 @@ fn serve_cmd(suite: &Suite, opts: &Options) {
         reps: opts.reps,
     };
     if opts.source == ServeSource::Trace && opts.checkpoint.is_none() {
-        serve_bench(suite, opts, &bench_cfg);
+        if opts.users > 0 {
+            // The fairness harness pins its own admission knobs so the
+            // asserted acceptance gate measures one fixed policy.
+            if opts.quota.is_some() || opts.slo.is_some() || opts.user_skew.is_some() {
+                fail(
+                    "the serve fairness bench pins its admission knobs; \
+                     --quota/--slo/--user-skew apply to single service runs \
+                     (--source poisson|bursty, or --checkpoint)",
+                );
+            }
+            fair_bench(suite, opts);
+        } else {
+            serve_bench(suite, opts, &bench_cfg);
+        }
         return;
     }
 
     // Single service run (load generator and/or live checkpointing).
-    let cfg =
+    let mut cfg =
         ServeConfig::new(opts.nodes, SERVE_BENCH_GPUS_PER_NODE).walltime_err(opts.walltime_err);
+    let user_skew = opts
+        .user_skew
+        .unwrap_or(hrp_cluster::trace::DEFAULT_USER_SKEW);
+    if opts.users > 0 {
+        let mut acfg = AdmissionConfig::new();
+        if let Some(q) = opts.quota {
+            acfg = acfg.quota(q);
+        }
+        if let Some(s) = opts.slo {
+            acfg = acfg.slo(s);
+        }
+        cfg = cfg.admission(acfg);
+        println!(
+            "# serve: admission on — {} tenants (skew {}), quota {}, slo {}",
+            opts.users,
+            user_skew,
+            opts.quota
+                .map_or_else(|| "unlimited".into(), |q| q.to_string()),
+            opts.slo.map_or_else(|| "never".into(), |s| s.to_string()),
+        );
+    }
     match opts.source {
         ServeSource::Trace => {
-            let trace_cfg = serve_bench_trace_cfg(opts.trace, &bench_cfg);
+            let mut trace_cfg = serve_bench_trace_cfg(opts.trace, &bench_cfg);
+            if opts.users > 0 {
+                trace_cfg = trace_cfg.users(opts.users).user_skew(user_skew);
+            }
             println!(
                 "# serve: {} node(s) x {} GPUs, selector {}, trace {} ({} jobs)",
                 opts.nodes,
@@ -966,7 +1117,10 @@ fn serve_cmd(suite: &Suite, opts: &Options) {
                 opts.rate,
                 opts.duration
             );
-            let source = LoadGen::new(suite, shape, opts.rate, opts.duration, opts.seed);
+            let mut source = LoadGen::new(suite, shape, opts.rate, opts.duration, opts.seed);
+            if opts.users > 0 {
+                source = source.with_users(opts.users, user_skew);
+            }
             // The horizon is open-ended in job count; checkpoint once
             // a small prefix is in flight.
             drive_serve_run(
@@ -1025,6 +1179,64 @@ fn serve_bench(suite: &Suite, opts: &Options, cfg: &hrp_bench::serve::ServeBench
     let json = render_serve_json(&report);
     std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
     println!("# wrote BENCH_8.json");
+}
+
+/// Fairness-bench mode of `repro serve --users`: admission-controlled
+/// fair share vs the plain FCFS front door on the skewed and bursty
+/// traces, per-tenant Jain/spread per row, persisted as
+/// `BENCH_9.json`. At the pinned configuration the harness asserts
+/// the acceptance gate (Jain strictly improves at ≤ 2 % makespan
+/// cost) before anything is written.
+fn fair_bench(suite: &Suite, opts: &Options) {
+    use hrp_bench::fair::{
+        render_fair_json, run_fair_bench, FairBenchConfig, FAIR_BENCH_GPUS_PER_NODE,
+        FAIR_BENCH_HALF_LIFE, FAIR_BENCH_NODES, FAIR_BENCH_QUOTA, FAIR_BENCH_USERS,
+    };
+    let cfg = FairBenchConfig {
+        quick: opts.quick,
+        seed: opts.seed,
+        users: opts.users,
+    };
+    println!(
+        "# serve-fair: {} nodes x {} GPUs, {} jobs/trace, {} tenants, \
+         quota {}, half-life {} s",
+        FAIR_BENCH_NODES,
+        FAIR_BENCH_GPUS_PER_NODE,
+        cfg.jobs(),
+        cfg.users,
+        FAIR_BENCH_QUOTA,
+        FAIR_BENCH_HALF_LIFE
+    );
+    if !cfg.is_pinned() {
+        println!(
+            "# note: acceptance gate asserted only at the pinned \
+             configuration (seed 42, {FAIR_BENCH_USERS} tenants)"
+        );
+    }
+    let report = run_fair_bench(suite, &cfg);
+    let mut t = Table::new(&[
+        "trace", "policy", "makespan", "avg_wait", "jain", "spread", "deferred", "rejected",
+        "digest",
+    ]);
+    for tr in &report.traces {
+        for p in &tr.policies {
+            t.row(vec![
+                tr.kind.name().to_owned(),
+                p.policy.to_owned(),
+                f3(p.makespan),
+                f3(p.avg_wait),
+                f3(p.fairness.jain),
+                f3(p.fairness.spread),
+                p.deferred.to_string(),
+                p.rejected.to_string(),
+                format!("{:016x}", p.digest),
+            ]);
+        }
+    }
+    t.emit("serve_fair", opts.out.as_deref());
+    let json = render_fair_json(&report);
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    println!("# wrote BENCH_9.json");
 }
 
 /// Drive one live service run: optionally checkpoint once the source
@@ -1090,7 +1302,14 @@ fn emit_serve_run(opts: &Options, served: hrp_serve::ServeReport) {
     ]);
     t.row(vec!["decision p50 [us]".into(), f3(served.latency.p50_us)]);
     t.row(vec!["decision p99 [us]".into(), f3(served.latency.p99_us)]);
-    t.emit("serve_run", opts.out.as_deref());
+    if let Some(adm) = &served.admission {
+        t.row(vec!["deferred".into(), served.stats.deferred.to_string()]);
+        t.row(vec!["rejected".into(), served.stats.rejected.to_string()]);
+        t.emit("serve_run", opts.out.as_deref());
+        println!("# admission digest {:016x}", adm.digest);
+    } else {
+        t.emit("serve_run", opts.out.as_deref());
+    }
     println!("# digest {:016x}", served.report.timeline.digest());
 }
 

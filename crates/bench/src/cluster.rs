@@ -72,12 +72,17 @@ pub fn evaluation_trace(
     n_jobs: usize,
     seed: u64,
 ) -> Vec<ClusterJob> {
-    generate(
-        suite,
-        &TraceConfig::new(kind, n_jobs, seed ^ EVAL_SEED_OFFSET)
-            .max_gpus(GPUS_PER_NODE)
-            .gang_share(EVAL_GANG_SHARE),
-    )
+    generate(suite, &evaluation_trace_cfg(kind, n_jobs, seed))
+}
+
+/// The [`TraceConfig`] behind [`evaluation_trace`], exposed so callers
+/// can layer extra knobs (e.g. `repro cluster --users` tags tenants)
+/// onto the same evaluation stream before generating.
+#[must_use]
+pub fn evaluation_trace_cfg(kind: TraceKind, n_jobs: usize, seed: u64) -> TraceConfig {
+    TraceConfig::new(kind, n_jobs, seed ^ EVAL_SEED_OFFSET)
+        .max_gpus(GPUS_PER_NODE)
+        .gang_share(EVAL_GANG_SHARE)
 }
 
 /// The placement-training configuration `repro cluster --selector

@@ -17,6 +17,9 @@
 //!   decisions/sec and decision-latency percentiles of the `hrp-serve`
 //!   scheduler service, digest-checked against the batch oracle and
 //!   persisted as `BENCH_8.json`);
+//! * [`fair`] — the `repro serve --users` fairness harness (per-tenant
+//!   slowdown spread and Jain's index of the admission-controlled
+//!   front door vs plain FCFS, persisted as `BENCH_9.json`);
 //! * [`stats`] — small-sample summaries (mean, standard error,
 //!   Student-t 95 % CI) backing the harness;
 //! * [`report`] — TSV table assembly and file output.
@@ -32,6 +35,7 @@
 pub mod bench_cluster;
 pub mod cluster;
 pub mod eval;
+pub mod fair;
 pub mod obs;
 pub mod report;
 pub mod serve;

@@ -17,6 +17,10 @@ pub struct ClusterJob {
     pub arrival: f64,
     /// GPUs requested (≥ 1). Multi-GPU jobs gang-schedule exclusively.
     pub gpus: usize,
+    /// Submitting tenant. `0` is the untagged default; traces generated
+    /// with [`crate::trace::TraceConfig::users`] ≥ 2 draw Zipf-skewed ids
+    /// in `0..users`.
+    pub user: u32,
 }
 
 impl ClusterJob {
@@ -35,6 +39,7 @@ impl ClusterJob {
                 .unwrap_or_else(|| panic!("unknown benchmark '{name}'")),
             arrival,
             gpus,
+            user: 0,
         }
     }
 

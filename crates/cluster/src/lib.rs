@@ -29,6 +29,10 @@
 //!   makespan bonus), [`place::train_placement`] through the generic
 //!   `hrp-core` pipeline, and `HRPP` checkpoints
 //!   ([`place::PlacementExperiment`]);
+//! * [`fair`] — per-user fair share: karma-decayed service accounting,
+//!   in-flight quotas, burst-confined fair ordering
+//!   ([`fair::apply_fair_order`]), and the Jain's-index fairness
+//!   metrics — the bookkeeping behind `hrp-serve`'s admission tier;
 //! * [`fcfs`] — First-Come-First-Serve with conservative backfilling
 //!   (the comparator the paper names);
 //! * [`slots`] — the slot tree: free-GPU capacity as a coalesced step
@@ -57,6 +61,7 @@
 
 pub mod backfill;
 pub mod cosched;
+pub mod fair;
 pub mod fcfs;
 pub mod job;
 pub mod multinode;
@@ -68,6 +73,7 @@ pub mod trace;
 
 pub use backfill::{BackfillPlanner, BackfillPolicy, QueueOrder};
 pub use cosched::CoSchedulingDispatcher;
+pub use fair::{FairConfig, FairShare, FairnessReport};
 pub use fcfs::FcfsBackfill;
 pub use job::ClusterJob;
 pub use multinode::{ClusterDrive, ClusterTimeline, MultiNodeReport, MultiNodeSim, NodeSummary};

@@ -690,6 +690,7 @@ pub struct MultiNodeSim {
     epoch_spawn: bool,
     chunk_width: Option<f64>,
     queue_order: crate::backfill::QueueOrder,
+    fair_order: Option<crate::fair::FairConfig>,
 }
 
 impl MultiNodeSim {
@@ -706,6 +707,7 @@ impl MultiNodeSim {
             epoch_spawn: false,
             chunk_width: None,
             queue_order: crate::backfill::QueueOrder::Arrival,
+            fair_order: None,
         }
     }
 
@@ -771,6 +773,19 @@ impl MultiNodeSim {
         self
     }
 
+    /// Layer per-user fair-share ordering on top of the queue order:
+    /// each same-instant burst is reordered by tenant karma
+    /// ([`crate::fair::apply_fair_order`]) after
+    /// [`MultiNodeSim::with_queue_order`] runs. Like that hook, the
+    /// reorder happens once on the sorted trace — upstream of the
+    /// barrier/chunked split — so timelines stay bit-identical for any
+    /// threads / chunk width. A no-op on untagged (`user: 0`) traces.
+    #[must_use]
+    pub fn with_fair_order(mut self, cfg: crate::fair::FairConfig) -> Self {
+        self.fair_order = Some(cfg);
+        self
+    }
+
     /// Run a global job trace through the cluster: `selector` routes
     /// each arrival to a node, `make_dispatcher(node)` builds the
     /// node-local dispatcher.
@@ -804,6 +819,9 @@ impl MultiNodeSim {
         // then reorders *within* each same-instant burst only.
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         self.queue_order.apply(suite, &mut jobs);
+        if let Some(fair) = &self.fair_order {
+            crate::fair::apply_fair_order(suite, fair, &mut jobs);
+        }
 
         let local_pool;
         let fanout = if let Some(pool) = &self.pool {

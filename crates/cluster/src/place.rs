@@ -473,6 +473,16 @@ pub struct PlacementConfig {
     /// How simultaneous arrivals are ordered before episodes and
     /// deployments see them (the queue-order pick).
     pub queue_order: QueueOrder,
+    /// Layer per-user fair-share ordering ([`crate::fair`]) on top of
+    /// [`PlacementConfig::queue_order`] for training traces and
+    /// deployments. Only meaningful with [`TraceConfig::users`] ≥ 2;
+    /// a no-op on untagged traces.
+    pub fair_order: bool,
+    /// Per-user in-flight quota for the fairness knobs handed to the
+    /// serving tier ([`usize::MAX`] = unlimited).
+    pub fair_quota: usize,
+    /// Karma half-life (seconds) of the fair-share accounting.
+    pub fair_half_life: f64,
 }
 
 impl PlacementConfig {
@@ -506,6 +516,9 @@ impl PlacementConfig {
             backfill: None,
             walltime_err: 0.0,
             queue_order: QueueOrder::Arrival,
+            fair_order: false,
+            fair_quota: usize::MAX,
+            fair_half_life: 300.0,
         }
     }
 
@@ -543,6 +556,18 @@ impl PlacementConfig {
                 Head::Plain
             },
             seed: self.seed,
+        }
+    }
+
+    /// The fairness knobs as a [`crate::fair::FairConfig`] (quota +
+    /// karma half-life), shared with the serving admission tier.
+    #[must_use]
+    pub fn fair_config(&self) -> crate::fair::FairConfig {
+        let cfg = crate::fair::FairConfig::new().half_life(self.fair_half_life);
+        if self.fair_quota == usize::MAX {
+            cfg
+        } else {
+            cfg.quota(self.fair_quota)
         }
     }
 
@@ -586,6 +611,9 @@ pub fn training_traces(suite: &Suite, cfg: &PlacementConfig) -> Vec<Vec<ClusterJ
                 .max_gpus(cfg.gpus_per_node);
             let mut jobs = trace::generate(suite, &tc);
             cfg.queue_order.apply(suite, &mut jobs);
+            if cfg.fair_order {
+                crate::fair::apply_fair_order(suite, &cfg.fair_config(), &mut jobs);
+            }
             jobs
         })
         .collect()
@@ -899,6 +927,8 @@ fn encode_spec(cfg: &PlacementConfig) -> String {
     kv("trace.max_gpus", cfg.trace.max_gpus.to_string());
     kv("trace.mean_gap", format!("{:?}", cfg.trace.mean_gap));
     kv("trace.gang_share", format!("{:?}", cfg.trace.gang_share));
+    kv("trace.users", cfg.trace.users.to_string());
+    kv("trace.user_skew", format!("{:?}", cfg.trace.user_skew));
     kv("n_traces", cfg.n_traces.to_string());
     kv("episodes", cfg.episodes.to_string());
     kv("hidden", hidden.join(","));
@@ -923,10 +953,15 @@ fn encode_spec(cfg: &PlacementConfig) -> String {
     );
     kv("walltime_err", format!("{:?}", cfg.walltime_err));
     kv("queue_order", cfg.queue_order.name().to_string());
+    kv("fair_order", cfg.fair_order.to_string());
+    kv("fair_quota", cfg.fair_quota.to_string());
+    kv("fair_half_life", format!("{:?}", cfg.fair_half_life));
     s
 }
 
-/// Decode a `key=value` spec, requiring every field exactly once.
+/// Decode a `key=value` spec, requiring every field exactly once —
+/// except the tenant/fairness keys added after the format shipped,
+/// which default to their off values so legacy `HRPP` blobs still load.
 fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
     fn get<'a>(
         map: &std::collections::BTreeMap<&'a str, &'a str>,
@@ -939,6 +974,13 @@ fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
     fn parse<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, CheckpointError> {
         raw.parse()
             .map_err(|_| CheckpointError::Spec(format!("bad value for '{key}': '{raw}'")))
+    }
+    fn parse_or<T: std::str::FromStr>(
+        map: &std::collections::BTreeMap<&str, &str>,
+        key: &str,
+        default: T,
+    ) -> Result<T, CheckpointError> {
+        map.get(key).map_or(Ok(default), |raw| parse(key, raw))
     }
 
     let mut map = std::collections::BTreeMap::new();
@@ -987,6 +1029,8 @@ fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
             max_gpus: parse("trace.max_gpus", get(&map, "trace.max_gpus")?)?,
             mean_gap: parse("trace.mean_gap", get(&map, "trace.mean_gap")?)?,
             gang_share: parse("trace.gang_share", get(&map, "trace.gang_share")?)?,
+            users: parse_or(&map, "trace.users", 0)?,
+            user_skew: parse_or(&map, "trace.user_skew", trace::DEFAULT_USER_SKEW)?,
         },
         n_traces: parse("n_traces", get(&map, "n_traces")?)?,
         episodes: parse("episodes", get(&map, "episodes")?)?,
@@ -1008,6 +1052,9 @@ fn decode_spec(spec: &str) -> Result<PlacementConfig, CheckpointError> {
         backfill,
         walltime_err: parse("walltime_err", get(&map, "walltime_err")?)?,
         queue_order,
+        fair_order: parse_or(&map, "fair_order", false)?,
+        fair_quota: parse_or(&map, "fair_quota", usize::MAX)?,
+        fair_half_life: parse_or(&map, "fair_half_life", 300.0)?,
     })
 }
 

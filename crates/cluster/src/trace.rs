@@ -129,6 +129,18 @@ pub struct TraceConfig {
     /// [`generate`] and [`stream`] agree and the arrival/mix RNG
     /// stream is untouched.
     pub gang_share: f64,
+    /// Number of tenants to tag jobs with (`0` = untagged, the default
+    /// — every job keeps `user: 0` and traces are bit-identical to
+    /// configs predating the knob). With `users ≥ 2`, each job draws a
+    /// tenant id in `0..users` from a Zipf popularity distribution
+    /// (tenant 0 is the heavy hitter). Like the gang widening, the draw
+    /// is a stateless per-job-id hash layered after generation, so
+    /// [`generate`] and [`stream`] agree and the arrival/mix RNG stream
+    /// is untouched.
+    pub users: u32,
+    /// Zipf exponent of the tenant popularity distribution (only
+    /// meaningful with `users ≥ 2`; larger = heavier head tenant).
+    pub user_skew: f64,
 }
 
 impl TraceConfig {
@@ -143,6 +155,8 @@ impl TraceConfig {
             max_gpus: 2,
             mean_gap: 4.0,
             gang_share: 0.0,
+            users: 0,
+            user_skew: DEFAULT_USER_SKEW,
         }
     }
 
@@ -184,6 +198,74 @@ impl TraceConfig {
         self.gang_share = share;
         self
     }
+
+    /// Builder: tag jobs with Zipf-skewed tenant ids in `0..users`
+    /// (see the field docs; `0` disables tagging).
+    #[must_use]
+    pub fn users(mut self, users: u32) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Builder: override the tenant-popularity Zipf exponent.
+    ///
+    /// # Panics
+    /// Panics unless `skew` is positive and finite.
+    #[must_use]
+    pub fn user_skew(mut self, skew: f64) -> Self {
+        assert!(
+            skew.is_finite() && skew > 0.0,
+            "user_skew must be positive and finite, got {skew}"
+        );
+        self.user_skew = skew;
+        self
+    }
+}
+
+/// Default Zipf exponent for tenant popularity: skewed enough that the
+/// head tenant submits a multiple of anyone else's jobs, flat enough
+/// that every tenant appears in modest traces.
+pub const DEFAULT_USER_SKEW: f64 = 1.4;
+
+/// Salt decoupling the tenant draw from the [`TraceConfig::gang_share`]
+/// widening hash (both are keyed on `(seed, job.id)`).
+const USER_SALT: u64 = 0x7e9a_1b5c_3d2f_4e61;
+
+/// Cumulative Zipf(`skew`) popularity table over `users` tenants —
+/// the sampling table behind [`assign_user`]. Empty when `users < 2`
+/// (tagging disabled / single tenant).
+#[must_use]
+pub fn user_popularity(users: u32, skew: f64) -> Vec<f64> {
+    if users < 2 {
+        return Vec::new();
+    }
+    assert!(
+        skew.is_finite() && skew > 0.0,
+        "user_skew must be positive and finite, got {skew}"
+    );
+    let mut acc = 0.0;
+    (1..=users)
+        .map(|rank| {
+            acc += 1.0 / f64::from(rank).powf(skew);
+            acc
+        })
+        .collect()
+}
+
+/// Tag one job with its tenant: a pure function of `(seed, job.id)`
+/// through a salted splitmix64 draw mapped onto the cumulative
+/// popularity table from [`user_popularity`]. With an empty table the
+/// job keeps `user: 0`.
+pub fn assign_user(seed: u64, popularity: &[f64], job: &mut ClusterJob) {
+    if popularity.is_empty() {
+        return;
+    }
+    let h = splitmix64(seed ^ USER_SALT ^ splitmix64(job.id as u64));
+    // 53 high bits → a uniform draw in [0, total mass).
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64 * popularity[popularity.len() - 1];
+    job.user = popularity
+        .partition_point(|&c| c <= u)
+        .min(popularity.len() - 1) as u32;
 }
 
 /// Splitmix64 — the per-job-id hash behind [`TraceConfig::gang_share`].
@@ -241,8 +323,10 @@ pub fn generate(suite: &Suite, cfg: &TraceConfig) -> Vec<ClusterJob> {
             })
             .collect(),
     };
+    let popularity = user_popularity(cfg.users, cfg.user_skew);
     for job in &mut jobs {
         widen_to_gang(cfg, job);
+        assign_user(cfg.seed, &popularity, job);
     }
     debug_assert_eq!(jobs.len(), cfg.jobs);
     jobs
@@ -263,6 +347,7 @@ fn job_at(suite: &Suite, id: usize, bench: usize, arrival: f64, gpus: usize) -> 
         bench,
         arrival,
         gpus,
+        user: 0,
     }
 }
 
@@ -435,6 +520,7 @@ pub struct TraceStream<'a> {
     t: f64,
     next_id: usize,
     state: StreamState,
+    popularity: Vec<f64>,
 }
 
 /// Stream the trace a [`TraceConfig`] describes, job by job, without
@@ -491,6 +577,7 @@ pub fn stream<'a>(suite: &'a Suite, cfg: &TraceConfig) -> TraceStream<'a> {
         t: 0.0,
         next_id: 0,
         state,
+        popularity: user_popularity(cfg.users, cfg.user_skew),
     }
 }
 
@@ -583,6 +670,7 @@ impl Iterator for TraceStream<'_> {
             }
         };
         widen_to_gang(cfg, &mut job);
+        assign_user(cfg.seed, &self.popularity, &mut job);
         self.next_id += 1;
         Some(job)
     }
@@ -734,6 +822,52 @@ mod tests {
         // The GPU bound still applies.
         let capped = generate(&s, &cfg.clone().max_gpus(1));
         assert!(capped.iter().all(|j| j.gpus == 1));
+    }
+
+    #[test]
+    fn user_tagging_skews_tenants_without_touching_the_trace() {
+        let s = suite();
+        for kind in [TraceKind::Bursty, TraceKind::Skewed] {
+            let cfg = TraceConfig::new(kind, 400, 7).users(5);
+            let jobs = generate(&s, &cfg);
+            // Streaming draws the identical tenant tags.
+            let streamed: Vec<ClusterJob> = stream(&s, &cfg).collect();
+            assert_eq!(jobs, streamed);
+            // Zipf head: tenant 0 submits the most, every tenant shows up.
+            let mut counts = [0usize; 5];
+            for j in &jobs {
+                counts[j.user as usize] += 1;
+            }
+            assert!(
+                counts[0] > 2 * counts[4],
+                "tenant 0 should dominate: {counts:?}"
+            );
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "all tenants appear: {counts:?}"
+            );
+            // Tagging is layered after generation: the untagged config
+            // yields the bit-identical trace apart from `user`.
+            let untagged = generate(&s, &TraceConfig::new(kind, 400, 7));
+            assert!(untagged.iter().all(|j| j.user == 0));
+            for (a, b) in jobs.iter().zip(&untagged) {
+                assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+                assert_eq!((a.id, a.bench, a.gpus), (b.id, b.bench, b.gpus));
+            }
+        }
+    }
+
+    #[test]
+    fn single_tenant_configs_stay_untagged() {
+        let s = suite();
+        let jobs = generate(&s, &TraceConfig::new(TraceKind::Uniform, 50, 3).users(1));
+        assert!(jobs.iter().all(|j| j.user == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "user_skew")]
+    fn non_finite_user_skew_is_rejected() {
+        let _ = TraceConfig::new(TraceKind::Uniform, 10, 1).user_skew(f64::NAN);
     }
 
     #[test]

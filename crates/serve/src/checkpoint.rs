@@ -27,25 +27,38 @@
 //! position and refuses to checkpoint. Decision-latency samples are
 //! wall-clock measurement, not state — a restored service starts a
 //! fresh latency window.
+//!
+//! Version 2 added the admission tier: jobs carry a tenant id, the
+//! spec gains the admission knobs plus the `deferred`/`rejected`
+//! counters, and the body gains the fair-share snapshot, the rolling
+//! admission digest, and the quota-deferred queue. Version 1 blobs
+//! (no tenant field in job records, no admission keys) still restore:
+//! every new spec key defaults to the legacy behaviour and the `user`
+//! field is only decoded for v2 bodies. The spec is parsed defensively
+//! — out-of-range values (a forged source position past the trace, a
+//! zero quota, a non-finite rate) surface as [`CheckpointError::Spec`]
+//! rather than tripping builder asserts.
 
 use crate::service::{
-    dispatcher_for, CycleMode, SchedulerService, SelectorState, ServeConfig, ServeStats,
+    dispatcher_for, AdmissionConfig, AdmissionState, CycleMode, SchedulerService, SelectorState,
+    ServeConfig, ServeStats,
 };
 use crate::source::{ArrivalSource, LoadGen, LoadShape, TraceSource};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hrp_cluster::backfill::BackfillState;
+use hrp_cluster::fair::{FairConfig, FairShare, FairShareState};
 use hrp_cluster::job::ClusterJob;
 use hrp_cluster::multinode::{ClusterDrive, SyncStats};
 use hrp_cluster::place::{PlacementDispatcher, PlacementExperiment};
 use hrp_cluster::select::{NodeLoad, RoundRobin, SelectorKind};
 use hrp_cluster::sim::{EventKind, NodeEvent, NodeRunState};
-use hrp_cluster::trace::{TraceConfig, TraceKind};
+use hrp_cluster::trace::{TraceConfig, TraceKind, DEFAULT_USER_SKEW};
 pub use hrp_core::experiment::CheckpointError;
 use hrp_workloads::Suite;
 use std::collections::BTreeMap;
 
 const MAGIC: &[u8; 4] = b"HRPS";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Per-node dispatcher bookkeeping captured under the node lock.
 enum DispatcherState {
@@ -98,6 +111,8 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
         kv("decisions", self.stats.decisions.to_string());
         kv("nodes_replanned", self.stats.nodes_replanned.to_string());
         kv("nodes_skipped", self.stats.nodes_skipped.to_string());
+        kv("deferred", self.stats.deferred.to_string());
+        kv("rejected", self.stats.rejected.to_string());
         kv("placed", self.drive.placed().to_string());
         kv("sync_rounds", sync.sync_rounds.to_string());
         kv("node_advances", sync.node_advances.to_string());
@@ -111,6 +126,15 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
             u8::from(self.lookahead.is_some()).to_string(),
         );
         kv("has_agent", u8::from(agent_blob.is_some()).to_string());
+        kv(
+            "admission",
+            u8::from(self.cfg.admission.is_some()).to_string(),
+        );
+        if let Some(acfg) = &self.cfg.admission {
+            kv("adm_quota", acfg.quota.to_string());
+            kv("adm_half_life", format!("{:?}", acfg.half_life));
+            kv("adm_slo", format!("{:?}", acfg.slo));
+        }
 
         let mut body = BytesMut::with_capacity(4096);
         if let Some(job) = &self.lookahead {
@@ -133,6 +157,9 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
         if let Some(blob) = agent_blob {
             put_len(&mut body, blob.len());
             body.put_slice(&blob);
+        }
+        if let Some(adm) = &self.admission {
+            put_admission(&mut body, adm);
         }
 
         let mut out = BytesMut::with_capacity(12 + spec.len() + body.len());
@@ -174,7 +201,7 @@ pub fn restore(
     }
     blob.advance(4);
     let version = blob.get_u32_le();
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(CheckpointError::BadVersion(version));
     }
     let spec_len = blob.get_u32_le() as usize;
@@ -189,19 +216,54 @@ pub fn restore(
     let nodes = get_usize(&spec, "nodes")?;
     let gpus_per_node = get_usize(&spec, "gpus_per_node")?;
     let walltime_err = get_f64(&spec, "walltime_err")?;
+    ensure(
+        (1..=4096).contains(&nodes),
+        format!("nodes {nodes} out of range"),
+    )?;
+    ensure(
+        (1..=1024).contains(&gpus_per_node),
+        format!("gpus_per_node {gpus_per_node} out of range"),
+    )?;
+    ensure(
+        (0.0..1.0).contains(&walltime_err),
+        format!("walltime_err {walltime_err} out of range"),
+    )?;
     let mode = CycleMode::parse(get(&spec, "mode")?)
         .map_err(|m| CheckpointError::Spec(format!("unknown mode '{m}'")))?;
     let kind = SelectorKind::parse(get(&spec, "selector")?)
         .map_err(|s| CheckpointError::Spec(format!("unknown selector '{s}'")))?;
-    let cfg = ServeConfig::new(nodes, gpus_per_node)
+    let adm_cfg = if get_u64_or(&spec, "admission", 0)? != 0 {
+        let quota = get_usize(&spec, "adm_quota")?;
+        let half_life = get_f64(&spec, "adm_half_life")?;
+        let slo = get_f64(&spec, "adm_slo")?;
+        ensure(quota >= 1, "adm_quota must be at least 1".into())?;
+        ensure(
+            half_life.is_finite() && half_life > 0.0,
+            format!("adm_half_life {half_life} out of range"),
+        )?;
+        ensure(slo > 0.0, format!("adm_slo {slo} out of range"))?;
+        Some(AdmissionConfig {
+            quota,
+            half_life,
+            slo,
+        })
+    } else {
+        None
+    };
+    let mut cfg = ServeConfig::new(nodes, gpus_per_node)
         .walltime_err(walltime_err)
         .mode(mode);
+    if let Some(acfg) = &adm_cfg {
+        cfg = cfg.admission(acfg.clone());
+    }
     let stats = ServeStats {
         cycles: get_u64(&spec, "cycles")?,
         wake_cycles: get_u64(&spec, "wake_cycles")?,
         decisions: get_u64(&spec, "decisions")?,
         nodes_replanned: get_u64(&spec, "nodes_replanned")?,
         nodes_skipped: get_u64(&spec, "nodes_skipped")?,
+        deferred: get_u64_or(&spec, "deferred", 0)?,
+        rejected: get_u64_or(&spec, "rejected", 0)?,
     };
     let sync = SyncStats {
         sync_rounds: get_u64(&spec, "sync_rounds")?,
@@ -216,7 +278,7 @@ pub fn restore(
     let has_lookahead = get_u64(&spec, "has_lookahead")? != 0;
     let has_agent = get_u64(&spec, "has_agent")? != 0;
 
-    let mut body = Body(blob);
+    let mut body = Body(blob, version);
     let lookahead = if has_lookahead {
         Some(body.job()?)
     } else {
@@ -253,6 +315,10 @@ pub fn restore(
             other => SelectorState::from_kind(other),
         }
     };
+    let admission = match &adm_cfg {
+        Some(acfg) => Some(body.admission(acfg.fair_config())?),
+        None => None,
+    };
     if !body.0.is_empty() {
         return Err(CheckpointError::Spec(format!(
             "{} trailing bytes after the body",
@@ -261,18 +327,41 @@ pub fn restore(
     }
 
     let src_consumed = get_usize(&spec, "src_consumed")?;
+    let src_users = u32::try_from(get_u64_or(&spec, "src_users", 0)?)
+        .map_err(|_| CheckpointError::Spec("'src_users' does not fit u32".into()))?;
+    let src_user_skew = get_f64_or(&spec, "src_user_skew", DEFAULT_USER_SKEW)?;
+    ensure(
+        src_user_skew.is_finite() && src_user_skew > 0.0,
+        format!("src_user_skew {src_user_skew} out of range"),
+    )?;
     let source: Box<dyn ArrivalSource + '_> = match get(&spec, "source")? {
         "trace" => {
             let trace_kind = TraceKind::parse(get(&spec, "src_kind")?)
                 .map_err(|k| CheckpointError::Spec(format!("unknown trace kind '{k}'")))?;
-            let cfg = TraceConfig::new(
-                trace_kind,
-                get_usize(&spec, "src_jobs")?,
-                get_u64(&spec, "src_seed")?,
-            )
-            .max_gpus(get_usize(&spec, "src_max_gpus")?)
-            .mean_gap(get_f64(&spec, "src_mean_gap")?)
-            .gang_share(get_f64(&spec, "src_gang_share")?);
+            let jobs = get_usize(&spec, "src_jobs")?;
+            let max_gpus = get_usize(&spec, "src_max_gpus")?;
+            let mean_gap = get_f64(&spec, "src_mean_gap")?;
+            let gang_share = get_f64(&spec, "src_gang_share")?;
+            ensure(jobs >= 1, "src_jobs must be at least 1".into())?;
+            ensure(max_gpus >= 1, "src_max_gpus must be at least 1".into())?;
+            ensure(
+                mean_gap.is_finite() && mean_gap > 0.0,
+                format!("src_mean_gap {mean_gap} out of range"),
+            )?;
+            ensure(
+                (0.0..=1.0).contains(&gang_share),
+                format!("src_gang_share {gang_share} out of range"),
+            )?;
+            ensure(
+                src_consumed <= jobs,
+                format!("source position {src_consumed} beyond the {jobs}-job trace"),
+            )?;
+            let cfg = TraceConfig::new(trace_kind, jobs, get_u64(&spec, "src_seed")?)
+                .max_gpus(max_gpus)
+                .mean_gap(mean_gap)
+                .gang_share(gang_share)
+                .users(src_users)
+                .user_skew(src_user_skew);
             Box::new(TraceSource::resume(suite, cfg, src_consumed))
         }
         shape @ ("poisson" | "bursty") => {
@@ -281,15 +370,34 @@ pub fn restore(
             } else {
                 LoadShape::Bursty
             };
-            Box::new(LoadGen::resume(
+            let rate = get_f64(&spec, "src_rate")?;
+            let duration = get_f64(&spec, "src_duration")?;
+            let max_gpus = get_usize(&spec, "src_max_gpus")?;
+            ensure(
+                rate.is_finite() && rate > 0.0,
+                format!("src_rate {rate} out of range"),
+            )?;
+            ensure(
+                duration.is_finite() && duration > 0.0,
+                format!("src_duration {duration} out of range"),
+            )?;
+            ensure(max_gpus >= 1, "src_max_gpus must be at least 1".into())?;
+            let generator = LoadGen::with_max_gpus(
                 suite,
                 shape,
-                get_f64(&spec, "src_rate")?,
-                get_f64(&spec, "src_duration")?,
+                rate,
+                duration,
                 get_u64(&spec, "src_seed")?,
-                get_usize(&spec, "src_max_gpus")?,
-                src_consumed,
-            ))
+                max_gpus,
+            )
+            .with_users(src_users, src_user_skew)
+            .resume_to(src_consumed)
+            .ok_or_else(|| {
+                CheckpointError::Spec(format!(
+                    "source position {src_consumed} beyond the generator's horizon"
+                ))
+            })?;
+            Box::new(generator)
         }
         other => {
             return Err(CheckpointError::Spec(format!(
@@ -309,6 +417,7 @@ pub fn restore(
         last_cycle,
         stats,
         latencies: Vec::new(),
+        admission,
     })
 }
 
@@ -363,6 +472,42 @@ fn get_f64(spec: &BTreeMap<&str, &str>, key: &str) -> Result<f64, CheckpointErro
         .map_err(|_| CheckpointError::Spec(format!("'{key}' is not a float")))
 }
 
+/// Like [`get_u64`] with a default for keys absent from legacy blobs.
+fn get_u64_or(
+    spec: &BTreeMap<&str, &str>,
+    key: &str,
+    default: u64,
+) -> Result<u64, CheckpointError> {
+    if spec.contains_key(key) {
+        get_u64(spec, key)
+    } else {
+        Ok(default)
+    }
+}
+
+/// Like [`get_f64`] with a default for keys absent from legacy blobs.
+fn get_f64_or(
+    spec: &BTreeMap<&str, &str>,
+    key: &str,
+    default: f64,
+) -> Result<f64, CheckpointError> {
+    if spec.contains_key(key) {
+        get_f64(spec, key)
+    } else {
+        Ok(default)
+    }
+}
+
+/// Turn a forged or out-of-range spec value into a typed error at the
+/// restore boundary instead of letting a builder assert panic.
+fn ensure(cond: bool, msg: String) -> Result<(), CheckpointError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(CheckpointError::Spec(msg))
+    }
+}
+
 // ---- body writers -------------------------------------------------
 
 fn put_u8(buf: &mut BytesMut, v: u8) {
@@ -386,8 +531,37 @@ fn put_job(buf: &mut BytesMut, job: &ClusterJob) {
     put_u64(buf, job.bench as u64);
     put_f64(buf, job.arrival);
     put_len(buf, job.gpus);
+    buf.put_u32_le(job.user);
     put_len(buf, job.name.len());
     buf.put_slice(job.name.as_bytes());
+}
+
+fn put_admission(buf: &mut BytesMut, adm: &AdmissionState) {
+    let state = adm.share.export_state();
+    put_f64(buf, state.now);
+    put_u64(buf, state.seq);
+    put_len(buf, state.karma.len());
+    for (user, value, stamp) in &state.karma {
+        buf.put_u32_le(*user);
+        put_f64(buf, *value);
+        put_f64(buf, *stamp);
+    }
+    put_len(buf, state.inflight.len());
+    for (user, count) in &state.inflight {
+        buf.put_u32_le(*user);
+        put_u64(buf, *count);
+    }
+    put_len(buf, state.releases.len());
+    for (time_bits, seq, user) in &state.releases {
+        put_u64(buf, *time_bits);
+        put_u64(buf, *seq);
+        buf.put_u32_le(*user);
+    }
+    put_u64(buf, adm.digest);
+    put_len(buf, adm.deferred.len());
+    for job in &adm.deferred {
+        put_job(buf, job);
+    }
 }
 
 fn put_ids(buf: &mut BytesMut, ids: &[usize]) {
@@ -490,8 +664,9 @@ fn put_dispatcher(buf: &mut BytesMut, disp: &DispatcherState) {
 
 /// Bounds-checked little-endian reader over the checkpoint body (the
 /// vendored `bytes` accessors panic on underrun; a foreign blob must
-/// produce an error instead).
-struct Body(Bytes);
+/// produce an error instead). Carries the container version so job
+/// records decode the right shape: v1 bodies have no tenant field.
+struct Body(Bytes, u32);
 
 impl Body {
     fn need(&self, n: usize) -> Result<(), CheckpointError> {
@@ -506,6 +681,13 @@ impl Body {
         let mut b = [0u8; 1];
         self.0.copy_to_slice(&mut b);
         Ok(b[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        self.need(4)?;
+        let mut b = [0u8; 4];
+        self.0.copy_to_slice(&mut b);
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, CheckpointError> {
@@ -534,6 +716,7 @@ impl Body {
         let bench = self.u64()? as usize;
         let arrival = self.f64()?;
         let gpus = self.len_prefix()?;
+        let user = if self.1 >= 2 { self.u32()? } else { 0 };
         let name_len = self.len_prefix()?;
         let name = String::from_utf8(self.take(name_len)?.to_vec())
             .map_err(|_| CheckpointError::Spec("job name is not UTF-8".into()))?;
@@ -543,6 +726,7 @@ impl Body {
             bench,
             arrival,
             gpus,
+            user,
         })
     }
 
@@ -647,6 +831,46 @@ impl Body {
         })
     }
 
+    /// The admission-tier section: fair-share snapshot, rolling
+    /// decision digest, and the quota-deferred queue (v2 bodies only —
+    /// a v1 blob never sets the `admission` spec key).
+    fn admission(&mut self, cfg: FairConfig) -> Result<AdmissionState, CheckpointError> {
+        let now = self.f64()?;
+        let seq = self.u64()?;
+        let karma = {
+            let n = self.len_prefix()?;
+            (0..n)
+                .map(|_| Ok((self.u32()?, self.f64()?, self.f64()?)))
+                .collect::<Result<Vec<_>, CheckpointError>>()?
+        };
+        let inflight = {
+            let n = self.len_prefix()?;
+            (0..n)
+                .map(|_| Ok((self.u32()?, self.u64()?)))
+                .collect::<Result<Vec<_>, CheckpointError>>()?
+        };
+        let releases = {
+            let n = self.len_prefix()?;
+            (0..n)
+                .map(|_| Ok((self.u64()?, self.u64()?, self.u32()?)))
+                .collect::<Result<Vec<_>, CheckpointError>>()?
+        };
+        let state = FairShareState {
+            now,
+            seq,
+            karma,
+            inflight,
+            releases,
+        };
+        let mut adm = AdmissionState::with_share(FairShare::from_state(cfg, &state));
+        adm.digest = self.u64()?;
+        let parked = self.len_prefix()?;
+        for _ in 0..parked {
+            adm.deferred.push_back(self.job()?);
+        }
+        Ok(adm)
+    }
+
     fn dispatcher(
         &mut self,
         kind: SelectorKind,
@@ -737,6 +961,39 @@ mod tests {
         assert_eq!(resumed.report.per_node, uninterrupted.report.per_node);
         assert_eq!(resumed.report.aggregate, uninterrupted.report.aggregate);
         assert_eq!(resumed.stats, uninterrupted.stats, "logical counters");
+        assert_eq!(
+            resumed.admission.as_ref().map(|a| a.digest),
+            uninterrupted.admission.as_ref().map(|a| a.digest),
+            "admission-decision digests diverged"
+        );
+    }
+
+    /// Rewrite one `key=value` line in the spec, fixing up the length
+    /// prefix — how a forged blob smuggles an out-of-range value past
+    /// an otherwise valid container.
+    fn tamper(blob: &Bytes, key: &str, value: &str) -> Bytes {
+        let spec_len = u32::from_le_bytes(blob[8..12].try_into().unwrap()) as usize;
+        let spec = std::str::from_utf8(&blob[12..12 + spec_len]).unwrap();
+        let prefix = format!("{key}=");
+        let mut hit = false;
+        let new_spec: String = spec
+            .lines()
+            .map(|line| {
+                if line.starts_with(&prefix) {
+                    hit = true;
+                    format!("{key}={value}\n")
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        assert!(hit, "spec has no '{key}' line to tamper with");
+        let mut out = BytesMut::with_capacity(blob.len());
+        out.put_slice(&blob[..8]);
+        out.put_u32_le(new_spec.len() as u32);
+        out.put_slice(new_spec.as_bytes());
+        out.put_slice(&blob[12 + spec_len..]);
+        out.freeze()
     }
 
     #[test]
@@ -801,6 +1058,23 @@ mod tests {
     }
 
     #[test]
+    fn kill_restore_round_trip_admission_fair_share() {
+        let s = suite();
+        let cfg = ServeConfig::new(2, 2).admission(
+            crate::service::AdmissionConfig::new()
+                .quota(2)
+                .half_life(60.0),
+        );
+        let svc = SchedulerService::new(
+            &s,
+            cfg,
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, trace_cfg(TraceKind::Bursty, 60, 7).users(4)),
+        );
+        assert_kill_restore_is_exact(svc, 30);
+    }
+
+    #[test]
     fn channel_source_refuses_to_checkpoint() {
         let s = suite();
         let (_tx, src) = ChannelSource::channel();
@@ -820,25 +1094,32 @@ mod tests {
             restore(&s, Bytes::from(b"HRPP----------------".to_vec())),
             Err(CheckpointError::NotACheckpoint)
         ));
-        let mut future = BytesMut::with_capacity(12);
-        future.put_slice(MAGIC);
-        future.put_u32_le(99);
-        future.put_u32_le(0);
-        assert!(matches!(
-            restore(&s, future.freeze()),
-            Err(CheckpointError::BadVersion(99))
-        ));
+        for version in [0u32, 99] {
+            let mut alien = BytesMut::with_capacity(12);
+            alien.put_slice(MAGIC);
+            alien.put_u32_le(version);
+            alien.put_u32_le(0);
+            assert!(matches!(
+                restore(&s, alien.freeze()),
+                Err(CheckpointError::BadVersion(v)) if v == version
+            ));
+        }
     }
 
     #[test]
     fn truncated_bodies_error_instead_of_panicking() {
         let s = suite();
-        let svc = SchedulerService::new(
+        let mut svc = SchedulerService::new(
             &s,
-            ServeConfig::new(2, 2),
+            ServeConfig::new(2, 2).admission(crate::service::AdmissionConfig::new().quota(1)),
             SelectorKind::Easy,
-            TraceSource::new(&s, trace_cfg(TraceKind::Uniform, 20, 3)),
+            TraceSource::new(&s, trace_cfg(TraceKind::Bursty, 20, 3).users(3)),
         );
+        // Mid-run, so the body carries jobs, fair-share state, and
+        // (with quota 1 under bursts) usually a deferred queue too.
+        while svc.consumed() < 10 {
+            let _ = svc.step();
+        }
         let blob = svc.checkpoint().expect("checkpointable");
         for cut in [13usize, blob.len() / 2, blob.len() - 1] {
             let mut clipped = blob.clone();
@@ -848,5 +1129,123 @@ mod tests {
                 "clip at {cut} must be an error"
             );
         }
+    }
+
+    /// Satellite regression: a structurally valid blob whose source
+    /// position points past the end of the stream must come back as a
+    /// typed spec error, not an assert panic in the resume path.
+    #[test]
+    fn forged_source_positions_error_instead_of_panicking() {
+        let s = suite();
+        let trace_svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, trace_cfg(TraceKind::Uniform, 20, 3)),
+        );
+        let blob = trace_svc.checkpoint().expect("checkpointable");
+        let forged = restore(&s, tamper(&blob, "src_consumed", "1000000")).map(|_| ());
+        match forged {
+            Err(CheckpointError::Spec(msg)) => {
+                assert!(msg.contains("beyond"), "names the overrun: {msg}")
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+
+        let gen_svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2),
+            SelectorKind::LeastLoaded,
+            LoadGen::new(&s, LoadShape::Poisson, 3.0, 20.0, 11),
+        );
+        let blob = gen_svc.checkpoint().expect("checkpointable");
+        let forged = restore(&s, tamper(&blob, "src_consumed", "1000000")).map(|_| ());
+        match forged {
+            Err(CheckpointError::Spec(msg)) => {
+                assert!(msg.contains("horizon"), "names the overrun: {msg}")
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+
+    /// More forged-spec hardening: out-of-range geometry and admission
+    /// knobs surface as typed errors before any builder assert runs.
+    #[test]
+    fn forged_spec_values_error_instead_of_panicking() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2).admission(crate::service::AdmissionConfig::new().quota(2)),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, trace_cfg(TraceKind::Uniform, 20, 3).users(3)),
+        );
+        let blob = svc.checkpoint().expect("checkpointable");
+        for (key, value) in [
+            ("nodes", "0"),
+            ("nodes", "9999999"),
+            ("gpus_per_node", "0"),
+            ("walltime_err", "NaN"),
+            ("adm_quota", "0"),
+            ("adm_half_life", "inf"),
+            ("adm_slo", "-1.0"),
+            ("src_jobs", "0"),
+            ("src_mean_gap", "NaN"),
+            ("src_gang_share", "2.0"),
+            ("src_user_skew", "0.0"),
+        ] {
+            assert!(
+                matches!(
+                    restore(&s, tamper(&blob, key, value)),
+                    Err(CheckpointError::Spec(_))
+                ),
+                "forged {key}={value} must be a spec error"
+            );
+        }
+    }
+
+    /// A version-1 blob — no tenant fields, no admission keys — still
+    /// restores. A fresh (unstepped) service's body carries no job
+    /// records, so stripping the v2 spec keys and rewriting the version
+    /// word reproduces the v1 encoding exactly.
+    #[test]
+    fn legacy_v1_blobs_still_restore() {
+        let s = suite();
+        let svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, trace_cfg(TraceKind::Uniform, 20, 3)),
+        );
+        let blob = svc.checkpoint().expect("checkpointable");
+        let uninterrupted = drain(svc);
+
+        let spec_len = u32::from_le_bytes(blob[8..12].try_into().unwrap()) as usize;
+        let spec = std::str::from_utf8(&blob[12..12 + spec_len]).unwrap();
+        let v1_keys = [
+            "deferred=",
+            "rejected=",
+            "admission=",
+            "src_users=",
+            "src_user_skew=",
+        ];
+        let v1_spec: String = spec
+            .lines()
+            .filter(|line| !v1_keys.iter().any(|k| line.starts_with(k)))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        let mut v1 = BytesMut::with_capacity(blob.len());
+        v1.put_slice(MAGIC);
+        v1.put_u32_le(1);
+        v1.put_u32_le(v1_spec.len() as u32);
+        v1.put_slice(v1_spec.as_bytes());
+        v1.put_slice(&blob[12 + spec_len..]);
+
+        let resumed = drain(restore(&s, v1.freeze()).expect("legacy blob restores"));
+        assert_eq!(
+            resumed.report.timeline.digest(),
+            uninterrupted.report.timeline.digest(),
+            "legacy restore diverged"
+        );
+        assert!(resumed.admission.is_none(), "v1 has no admission tier");
     }
 }

@@ -28,6 +28,13 @@
 //!    is timed; [`ServeReport`] summarises sustained decisions/sec
 //!    material as p50/p99/max latency for the `repro serve` bench.
 //!
+//! An optional admission tier ([`AdmissionConfig`]) sits in front of
+//! the selector: arrivals are ordered by per-tenant karma, deferred
+//! when a tenant exceeds its in-flight quota, and rejected when the
+//! projected slowdown exceeds a per-class SLO. Admission decisions
+//! fold into a digest ([`AdmissionOutcome`]) that is invariant across
+//! cycle modes and thread counts and survives kill/restore.
+//!
 //! See the [`SchedulerService`] doc-example for the end-to-end loop.
 
 #![warn(missing_docs)]
@@ -39,7 +46,7 @@ pub mod source;
 
 pub use checkpoint::{restore, restore_file, CheckpointError};
 pub use service::{
-    dispatcher_for, CycleMode, LatencySummary, SchedulerService, ServeConfig, ServeReport,
-    ServeStats, ServiceStep, SERVE_CMAX, SERVE_W,
+    dispatcher_for, AdmissionConfig, AdmissionOutcome, CycleMode, LatencySummary, SchedulerService,
+    ServeConfig, ServeReport, ServeStats, ServiceStep, SERVE_CMAX, SERVE_W,
 };
 pub use source::{ArrivalSource, ChannelSource, LoadGen, LoadShape, SourcePoll, TraceSource};

@@ -14,6 +14,14 @@
 //! provable no-op (its state cannot change and its load snapshot is
 //! time-invariant), so the batch engines survive as the oracle.
 //!
+//! With [`ServeConfig::admission`] set, an admission-control +
+//! fair-share tier sits in front of the selector: each arrival is
+//! admitted, deferred (tenant over its in-flight quota), or rejected
+//! (projected slowdown past the SLO), and each burst is ordered by
+//! tenant karma ([`hrp_cluster::fair`]) before placement. Admission
+//! state checkpoints alongside everything else, so kill/restore
+//! reproduces the decisions bit-exactly.
+//!
 //! When the source has nothing to offer, the service sizes its idle
 //! sleep from the dispatchers' [`next_wakeup`](hrp_cluster::sim::Dispatcher::next_wakeup)
 //! hints: [`SchedulerService::next_wakeup`] is the earliest instant
@@ -24,6 +32,7 @@
 use crate::source::{ArrivalSource, SourcePoll};
 use hrp_cluster::backfill::BackfillPlanner;
 use hrp_cluster::cosched::CoSchedulingDispatcher;
+use hrp_cluster::fair::{self, FairConfig, FairShare};
 use hrp_cluster::job::ClusterJob;
 use hrp_cluster::multinode::{ClusterDrive, MultiNodeReport};
 use hrp_cluster::place::{PlacementAgent, PlacementDispatcher};
@@ -33,6 +42,7 @@ use hrp_cluster::select::{
 use hrp_core::policies::MpsOnly;
 use hrp_core::rl::DqnSnapshot;
 use hrp_workloads::Suite;
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Window size of each node's co-scheduling dispatcher — kept equal
@@ -78,6 +88,123 @@ impl CycleMode {
     }
 }
 
+/// The admission tier's knobs: per-user in-flight quota, karma
+/// half-life, and the reject SLO. Attached to a service via
+/// [`ServeConfig::admission`]; the defaults (`quota` unlimited, `slo`
+/// infinite) admit everything but still order bursts by tenant karma.
+///
+/// ```
+/// use hrp_cluster::select::SelectorKind;
+/// use hrp_cluster::trace::{TraceConfig, TraceKind};
+/// use hrp_gpusim::GpuArch;
+/// use hrp_serve::{AdmissionConfig, SchedulerService, ServeConfig, TraceSource};
+/// use hrp_workloads::Suite;
+///
+/// let suite = Suite::paper_suite(&GpuArch::a100());
+/// // Three Zipf-skewed tenants; tenant 0 is the heavy one.
+/// let cfg = TraceConfig::new(TraceKind::Bursty, 24, 7)
+///     .mean_gap(4.0)
+///     .users(3);
+///
+/// let admission = AdmissionConfig::new().quota(2).half_life(120.0);
+/// let mut service = SchedulerService::new(
+///     &suite,
+///     ServeConfig::new(2, 2).admission(admission),
+///     SelectorKind::LeastLoaded,
+///     TraceSource::new(&suite, cfg),
+/// );
+/// service.run_to_close();
+/// let served = service.finish();
+///
+/// // Infinite SLO: nothing rejected, every arrival eventually admitted.
+/// let outcome = served.admission.expect("admission tier was on");
+/// assert_eq!(served.stats.rejected, 0);
+/// assert_eq!(outcome.effective.len(), 24);
+/// // The heavy tenant hit its 2-job in-flight cap along the way.
+/// assert!(served.stats.deferred > 0, "quota deferred some arrivals");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Per-user in-flight cap: a tenant at the cap has new arrivals
+    /// *deferred* until an earlier admission's estimated completion
+    /// passes. [`usize::MAX`] (the default) never defers.
+    pub quota: usize,
+    /// Karma half-life in seconds (see [`hrp_cluster::fair`]).
+    pub half_life: f64,
+    /// Reject threshold on *projected slowdown*: a fresh arrival whose
+    /// `(projected wait + solo time) / solo time` exceeds this is
+    /// rejected outright. [`f64::INFINITY`] (the default) never
+    /// rejects. The projected wait is the cheapest node's queued
+    /// work per GPU at the admission instant — an O(nodes) read of the
+    /// load snapshots the selector already maintains.
+    pub slo: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            quota: usize::MAX,
+            half_life: 300.0,
+            slo: f64::INFINITY,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The admit-everything defaults (fair ordering only).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: cap each tenant's in-flight jobs.
+    ///
+    /// # Panics
+    /// Panics if `quota` is 0 (nothing could ever be admitted).
+    #[must_use]
+    pub fn quota(mut self, quota: usize) -> Self {
+        assert!(quota >= 1, "quota must be at least 1");
+        self.quota = quota;
+        self
+    }
+
+    /// Builder: override the karma half-life.
+    ///
+    /// # Panics
+    /// Panics unless `half_life` is positive and finite.
+    #[must_use]
+    pub fn half_life(mut self, half_life: f64) -> Self {
+        assert!(
+            half_life.is_finite() && half_life > 0.0,
+            "half_life must be positive and finite, got {half_life}"
+        );
+        self.half_life = half_life;
+        self
+    }
+
+    /// Builder: reject arrivals whose projected slowdown exceeds
+    /// `slo` (use [`f64::INFINITY`] to never reject).
+    ///
+    /// # Panics
+    /// Panics if `slo` is NaN or not positive.
+    #[must_use]
+    pub fn slo(mut self, slo: f64) -> Self {
+        assert!(slo > 0.0, "slo must be positive, got {slo}");
+        self.slo = slo;
+        self
+    }
+
+    /// The [`FairConfig`] this admission policy shares with the batch
+    /// fair-ordering hook.
+    #[must_use]
+    pub fn fair_config(&self) -> FairConfig {
+        FairConfig {
+            quota: self.quota,
+            half_life: self.half_life,
+        }
+    }
+}
+
 /// Service geometry and cycle policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -90,6 +217,10 @@ pub struct ServeConfig {
     pub walltime_err: f64,
     /// Cycle mode.
     pub mode: CycleMode,
+    /// Admission control + per-user fair share in front of the
+    /// selector, or `None` (the default) for the legacy
+    /// admit-everything front door.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ServeConfig {
@@ -102,6 +233,7 @@ impl ServeConfig {
             gpus_per_node,
             walltime_err: 0.0,
             mode: CycleMode::Incremental,
+            admission: None,
         }
     }
 
@@ -117,6 +249,14 @@ impl ServeConfig {
     #[must_use]
     pub fn mode(mut self, mode: CycleMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Builder: put an admission-control + fair-share tier in front
+    /// of the selector.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
         self
     }
 }
@@ -218,6 +358,12 @@ pub struct ServeStats {
     pub nodes_replanned: u64,
     /// Nodes skipped as quiescent by the incremental dirty set.
     pub nodes_skipped: u64,
+    /// Arrivals parked by the admission tier because their tenant was
+    /// at its in-flight quota (counted once per job, not per retry).
+    pub deferred: u64,
+    /// Arrivals rejected because their projected slowdown exceeded
+    /// the admission SLO.
+    pub rejected: u64,
 }
 
 /// Decision-latency summary over one service run (microseconds,
@@ -251,8 +397,15 @@ impl LatencySummary {
         sorted.sort_by(f64::total_cmp);
         let rank = |q: f64| -> f64 {
             // Nearest-rank percentile: ceil(q·n) clamped into range.
-            let i = (q * sorted.len() as f64).ceil() as usize;
-            sorted[i.clamp(1, sorted.len()) - 1] * 1e6
+            // When the real product q·n is integral but the f64
+            // product lands 1 ulp above it, ceil would pick one rank
+            // too high — snap back if the ceiling overshot by ~1.
+            let scaled = q * sorted.len() as f64;
+            let mut i = scaled.ceil();
+            if i - scaled > 1.0 - 1e-9 {
+                i -= 1.0;
+            }
+            sorted[(i as usize).clamp(1, sorted.len()) - 1] * 1e6
         };
         Self {
             samples: sorted.len(),
@@ -281,6 +434,24 @@ pub enum ServiceStep {
     Closed,
 }
 
+/// What the admission tier did over a finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOutcome {
+    /// Rolling FNV-1a digest over every admission decision
+    /// `(job id, admission instant bits, user)` in order — the
+    /// checkpointed fingerprint the fairness contract pins across
+    /// threads, chunk widths, cycle modes, and kill/restore.
+    pub digest: u64,
+    /// The *effective* admitted trace: every admitted job with its
+    /// arrival rewritten to the admission instant, in placement
+    /// order. Replaying this through a batch
+    /// [`MultiNodeSim`](hrp_cluster::multinode::MultiNodeSim)
+    /// (arrival order) reproduces the service timeline bit-exactly.
+    /// Not checkpointed — a restored service logs only the jobs it
+    /// admitted since restore.
+    pub effective: Vec<ClusterJob>,
+}
+
 /// Everything a finished service run reports.
 #[derive(Debug)]
 pub struct ServeReport {
@@ -291,6 +462,49 @@ pub struct ServeReport {
     pub stats: ServeStats,
     /// Wall-clock decision-latency summary.
     pub latency: LatencySummary,
+    /// Admission-tier outcome, when [`ServeConfig::admission`] was on.
+    pub admission: Option<AdmissionOutcome>,
+}
+
+/// Live admission-tier state: the fair-share bookkeeping plus the
+/// quota-deferred queue and the decision digest. Checkpointed (minus
+/// the effective-trace log) so kill/restore reproduces admission
+/// decisions bit-exactly.
+pub(crate) struct AdmissionState {
+    pub(crate) share: FairShare,
+    /// Quota-parked jobs in deferral order (FIFO re-examination).
+    pub(crate) deferred: VecDeque<ClusterJob>,
+    /// Rolling FNV-1a digest over admission decisions.
+    pub(crate) digest: u64,
+    /// Admitted jobs at their effective arrivals (not checkpointed).
+    pub(crate) effective: Vec<ClusterJob>,
+}
+
+impl AdmissionState {
+    pub(crate) fn new(cfg: &AdmissionConfig) -> Self {
+        Self::with_share(FairShare::new(cfg.fair_config()))
+    }
+
+    pub(crate) fn with_share(share: FairShare) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        Self {
+            share,
+            deferred: VecDeque::new(),
+            digest: FNV_OFFSET,
+            effective: Vec::new(),
+        }
+    }
+
+    /// Fold one admission decision into the digest.
+    fn record(&mut self, job: &ClusterJob, t: f64) {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        for word in [job.id as u64, t.to_bits(), u64::from(job.user)] {
+            for b in word.to_le_bytes() {
+                self.digest ^= u64::from(b);
+                self.digest = self.digest.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
 }
 
 /// A long-running scheduler service: ingest loop, incremental cycles,
@@ -348,6 +562,8 @@ pub struct SchedulerService<'a, S: ArrivalSource> {
     pub(crate) last_cycle: f64,
     pub(crate) stats: ServeStats,
     pub(crate) latencies: Vec<f64>,
+    /// The admission tier, when [`ServeConfig::admission`] is on.
+    pub(crate) admission: Option<AdmissionState>,
 }
 
 impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
@@ -392,6 +608,7 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
         make_dispatcher: impl FnMut(usize) -> PlacementDispatcher,
     ) -> Self {
         let drive = ClusterDrive::new(suite, cfg.nodes, cfg.gpus_per_node, make_dispatcher);
+        let admission = cfg.admission.as_ref().map(AdmissionState::new);
         Self {
             suite,
             cfg,
@@ -402,6 +619,7 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
             last_cycle: 0.0,
             stats: ServeStats::default(),
             latencies: Vec::new(),
+            admission,
         }
     }
 
@@ -415,6 +633,7 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
         let drive = ClusterDrive::new(suite, cfg.nodes, cfg.gpus_per_node, |_| {
             dispatcher_for(kind, cfg.gpus_per_node, cfg.walltime_err)
         });
+        let admission = cfg.admission.as_ref().map(AdmissionState::new);
         Self {
             suite,
             cfg,
@@ -425,6 +644,7 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
             last_cycle: 0.0,
             stats: ServeStats::default(),
             latencies: Vec::new(),
+            admission,
         }
     }
 
@@ -452,12 +672,38 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
         self.source.consumed()
     }
 
+    /// Jobs currently parked by the admission tier (quota-deferred,
+    /// waiting for an earlier admission's estimated completion).
+    #[must_use]
+    pub fn deferred_jobs(&self) -> usize {
+        self.admission.as_ref().map_or(0, |a| a.deferred.len())
+    }
+
+    /// The rolling admission-decision digest, when the admission tier
+    /// is on (see [`AdmissionOutcome::digest`]).
+    #[must_use]
+    pub fn admission_digest(&self) -> Option<u64> {
+        self.admission.as_ref().map(|a| a.digest)
+    }
+
     /// The earliest instant any node's dispatcher wants a cycle with
     /// no job event in between — the idle-sleep bound for a service
-    /// whose source is [`SourcePoll::Pending`].
+    /// whose source is [`SourcePoll::Pending`]. With quota-deferred
+    /// jobs parked, the admission tier's earliest estimated release
+    /// also bounds the sleep, so a service whose source went quiet
+    /// still wakes to re-examine its deferred queue.
     #[must_use]
     pub fn next_wakeup(&self) -> Option<f64> {
-        self.drive.next_wakeup()
+        let drive = self.drive.next_wakeup();
+        let fair = self
+            .admission
+            .as_ref()
+            .filter(|a| !a.deferred.is_empty())
+            .and_then(|a| a.share.next_release());
+        match (drive, fair) {
+            (Some(d), Some(f)) => Some(d.min(f)),
+            (d, f) => d.or(f),
+        }
     }
 
     /// Ingest one arrival burst and run one scheduling cycle.
@@ -498,19 +744,102 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
     }
 
     /// One scheduling cycle at instant `t`: advance the non-quiescent
-    /// nodes, then route every job of the burst.
-    fn cycle(&mut self, t: f64, burst: Vec<ClusterJob>) {
+    /// nodes, run the admission tier (if on), then route every
+    /// admitted job of the burst.
+    fn cycle(&mut self, t: f64, mut burst: Vec<ClusterJob>) {
         self.stats.cycles += 1;
         self.advance_cluster(t);
-        for job in burst {
-            let work = job.solo_time(self.suite);
-            let started = Instant::now();
-            let node = self.selector.select(job.gpus, work, self.drive.loads());
-            self.latencies.push(started.elapsed().as_secs_f64());
-            self.stats.decisions += 1;
-            self.drive.place(node, job);
+        if self.admission.is_some() {
+            // Deferred jobs are re-examined first (FIFO — they have
+            // been waiting longest), then the fresh burst is ordered
+            // by tenant karma at this instant: the lightest tenant's
+            // jobs go through the door first, ties keep submission
+            // order. Both steps are pure functions of the admission
+            // state, so every engine/mode replays them identically.
+            self.revisit_deferred(t);
+            let adm = self.admission.as_ref().expect("admission is on");
+            adm.share.order_burst(t, &mut burst);
+            for job in burst {
+                self.consider(t, job, true);
+            }
+        } else {
+            for job in burst {
+                self.place_job(job);
+            }
         }
         self.last_cycle = t;
+    }
+
+    /// Route one admitted job through the selector onto a node.
+    fn place_job(&mut self, job: ClusterJob) {
+        let work = job.solo_time(self.suite);
+        let started = Instant::now();
+        let node = self.selector.select(job.gpus, work, self.drive.loads());
+        self.latencies.push(started.elapsed().as_secs_f64());
+        self.stats.decisions += 1;
+        self.drive.place(node, job);
+    }
+
+    /// Advance the fair-share clock to `t` (releasing due admissions)
+    /// and re-admit every deferred job whose tenant dropped back under
+    /// quota, preserving deferral order for the rest.
+    fn revisit_deferred(&mut self, t: f64) {
+        let adm = self.admission.as_mut().expect("admission is on");
+        adm.share.advance_to(t);
+        let parked = std::mem::take(&mut adm.deferred);
+        for job in parked {
+            self.consider(t, job, false);
+        }
+    }
+
+    /// One admission decision at instant `t`: reject (fresh arrivals
+    /// whose projected slowdown breaks the SLO), defer (tenant at
+    /// quota), or admit — charging karma, scheduling the estimated
+    /// release, and placing the job with its arrival rewritten to the
+    /// admission instant (the effective arrival the batch oracle
+    /// replays).
+    fn consider(&mut self, t: f64, mut job: ClusterJob, fresh: bool) {
+        let acfg = self.cfg.admission.clone().expect("admission is on");
+        let work = job.solo_time(self.suite);
+        if fresh && acfg.slo.is_finite() {
+            let wait = self.projected_wait(&job);
+            if (wait + work) / work > acfg.slo {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        let adm = self.admission.as_mut().expect("admission is on");
+        if adm.share.over_quota(job.user) {
+            if fresh {
+                self.stats.deferred += 1;
+            }
+            adm.deferred.push_back(job);
+            return;
+        }
+        adm.share
+            .admit(job.user, fair::job_cost(self.suite, &job), t + work);
+        job.arrival = t;
+        adm.record(&job, t);
+        adm.effective.push(job.clone());
+        self.place_job(job);
+    }
+
+    /// A lower-bound wait estimate for one arrival: the cheapest
+    /// node's outstanding queued work per GPU (zero if some node can
+    /// start the job immediately) — the projected-wait profile the
+    /// admission SLO is checked against.
+    fn projected_wait(&self, job: &ClusterJob) -> f64 {
+        self.drive
+            .loads()
+            .iter()
+            .map(|l| {
+                if l.free_gpus >= job.gpus && l.queued_jobs == 0 {
+                    0.0
+                } else {
+                    l.outstanding / l.total_gpus as f64
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Advance the dirty set (or, under [`CycleMode::Full`], every
@@ -545,6 +874,9 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
         );
         self.stats.wake_cycles += 1;
         self.advance_cluster(t);
+        if self.admission.is_some() {
+            self.revisit_deferred(t);
+        }
         self.last_cycle = t;
     }
 
@@ -572,7 +904,16 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
                         std::thread::yield_now();
                     }
                 }
-                ServiceStep::Closed => break,
+                ServiceStep::Closed => {
+                    // A closed source can still leave quota-deferred
+                    // jobs parked; estimated releases keep arriving,
+                    // so wake through them until the queue drains.
+                    if self.deferred_jobs() == 0 {
+                        break;
+                    }
+                    self.wake_cycle()
+                        .expect("deferred jobs imply a pending release wake-up");
+                }
             }
         }
     }
@@ -583,14 +924,25 @@ impl<'a, S: ArrivalSource> SchedulerService<'a, S> {
     ///
     /// # Panics
     /// Panics if a node's dispatcher strands jobs (the per-node
-    /// deadlock check).
+    /// deadlock check), or if the admission tier still has deferred
+    /// jobs parked (drive the service to close first — finishing
+    /// would silently drop them).
     #[must_use]
     pub fn finish(mut self) -> ServeReport {
+        assert_eq!(
+            self.deferred_jobs(),
+            0,
+            "finish with deferred jobs still parked; run_to_close first"
+        );
         let report = self.drive.finish();
         ServeReport {
             report,
             stats: self.stats,
             latency: LatencySummary::from_seconds(&self.latencies),
+            admission: self.admission.map(|a| AdmissionOutcome {
+                digest: a.digest,
+                effective: a.effective,
+            }),
         }
     }
 }
@@ -714,6 +1066,126 @@ mod tests {
         let empty = LatencySummary::from_seconds(&[]);
         assert_eq!(empty.samples, 0);
         assert_eq!(empty.max_us, 0.0);
+    }
+
+    /// Satellite regression: the nearest-rank index must match the
+    /// exact integer ceiling `⌈q·n⌉` even when `q * n as f64` lands one
+    /// ulp above an integral product (e.g. `0.99 × 300`), which would
+    /// otherwise ceil one rank too high.
+    #[test]
+    fn latency_percentile_rank_is_robust_at_sample_count_boundaries() {
+        for n in [1usize, 2, 99, 100, 101, 300] {
+            let secs: Vec<f64> = (1..=n).map(|i| i as f64 * 1e-6).collect();
+            let summary = LatencySummary::from_seconds(&secs);
+            // Exact nearest-rank in integer arithmetic: ⌈q·n⌉.
+            let p50 = n.div_ceil(2) as f64;
+            let p99 = (99 * n).div_ceil(100) as f64;
+            assert!(
+                (summary.p50_us - p50).abs() < 1e-9,
+                "n={n}: p50 {} want {p50}",
+                summary.p50_us
+            );
+            assert!(
+                (summary.p99_us - p99).abs() < 1e-9,
+                "n={n}: p99 {} want {p99}",
+                summary.p99_us
+            );
+            assert!((summary.max_us - n as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Quota deferral is a delay, never a drop: every arrival is
+    /// eventually admitted, the deferred queue drains by close, and the
+    /// deferral counter records the parked jobs.
+    #[test]
+    fn admission_quota_defers_without_dropping_jobs() {
+        let s = suite();
+        let cfg = TraceConfig::new(TraceKind::Bursty, 40, 9)
+            .gang_share(0.25)
+            .users(4);
+        let mut svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2).admission(AdmissionConfig::new().quota(1)),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, cfg),
+        );
+        svc.run_to_close();
+        let out = svc.finish();
+        assert_eq!(out.stats.rejected, 0, "infinite SLO never rejects");
+        assert!(out.stats.deferred > 0, "bursty tenants must hit quota 1");
+        let adm = out.admission.expect("admission tier was on");
+        assert_eq!(adm.effective.len(), 40, "every job admitted eventually");
+        assert_eq!(out.stats.decisions, 40, "every admitted job was placed");
+        // Deferral rewrites arrivals forward, never backwards.
+        assert!(adm
+            .effective
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    /// A finite SLO rejects at the front door under overload, and
+    /// rejected jobs never reach the cluster.
+    #[test]
+    fn admission_slo_rejects_under_overload() {
+        let s = suite();
+        let cfg = TraceConfig::new(TraceKind::Bursty, 60, 11)
+            .gang_share(0.25)
+            .mean_gap(2.0)
+            .users(4);
+        let mut svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(1, 2).admission(AdmissionConfig::new().slo(1.05)),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, cfg),
+        );
+        svc.run_to_close();
+        let out = svc.finish();
+        assert!(out.stats.rejected > 0, "a tight SLO must reject overload");
+        let adm = out.admission.expect("admission tier was on");
+        assert_eq!(
+            adm.effective.len() + out.stats.rejected as usize,
+            60,
+            "admitted + rejected covers the trace"
+        );
+        assert_eq!(
+            out.stats.decisions as usize,
+            adm.effective.len(),
+            "only admitted jobs reach the selector"
+        );
+    }
+
+    /// With the admit-everything defaults the admission tier is pure
+    /// reordering, and the service reproduces the batch engine run
+    /// under [`MultiNodeSim::with_fair_order`] bit-exactly — the
+    /// fair-share analogue of the batch-oracle contract.
+    #[test]
+    fn ordering_only_admission_matches_the_batch_fair_order_oracle() {
+        let s = suite();
+        let cfg = TraceConfig::new(TraceKind::Bursty, 48, 7)
+            .gang_share(0.25)
+            .users(5);
+        let acfg = AdmissionConfig::new().half_life(120.0);
+        let mut svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(4, 2).admission(acfg.clone()),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, cfg.clone()),
+        );
+        svc.run_to_close();
+        let served = svc.finish();
+        let mut selector = SelectorKind::LeastLoaded.build();
+        let batch = MultiNodeSim::new(4, 2)
+            .with_fair_order(acfg.fair_config())
+            .run(&s, generate(&s, &cfg), selector.as_mut(), |_| {
+                dispatcher_for(SelectorKind::LeastLoaded, 2, 0.0)
+            });
+        assert_eq!(
+            served.report.timeline.digest(),
+            batch.timeline.digest(),
+            "ordering-only admission must match the batch oracle"
+        );
+        assert_eq!(served.stats.deferred, 0);
+        assert_eq!(served.stats.rejected, 0);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! replaying that many draws, which restores the RNG cursor exactly.
 
 use hrp_cluster::job::ClusterJob;
-use hrp_cluster::trace::{stream, TraceConfig, TraceStream};
+use hrp_cluster::trace::{
+    assign_user, stream, user_popularity, TraceConfig, TraceStream, DEFAULT_USER_SKEW,
+};
 use hrp_workloads::Suite;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -161,6 +163,8 @@ impl ArrivalSource for TraceSource<'_> {
             ("max_gpus", self.cfg.max_gpus.to_string()),
             ("mean_gap", format!("{:?}", self.cfg.mean_gap)),
             ("gang_share", format!("{:?}", self.cfg.gang_share)),
+            ("users", self.cfg.users.to_string()),
+            ("user_skew", format!("{:?}", self.cfg.user_skew)),
         ])
     }
 }
@@ -263,6 +267,9 @@ pub struct LoadGen<'a> {
     duration: f64,
     seed: u64,
     max_gpus: usize,
+    users: u32,
+    user_skew: f64,
+    popularity: Vec<f64>,
     rng: SmallRng,
     t: f64,
     next_id: usize,
@@ -311,6 +318,9 @@ impl<'a> LoadGen<'a> {
             duration,
             seed,
             max_gpus,
+            users: 0,
+            user_skew: DEFAULT_USER_SKEW,
+            popularity: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             t: 0.0,
             next_id: 0,
@@ -320,8 +330,29 @@ impl<'a> LoadGen<'a> {
         }
     }
 
+    /// Builder: tag emitted jobs with Zipf-skewed tenant ids in
+    /// `0..users` (`0` = untagged, the default). The draw mirrors
+    /// [`hrp_cluster::trace::assign_user`] — a stateless per-job-id
+    /// hash layered after the arrival/mix draws, so the RNG stream and
+    /// every arrival instant are bit-identical to an untagged run.
+    ///
+    /// # Panics
+    /// Panics unless `skew` is positive and finite (with `users ≥ 2`).
+    #[must_use]
+    pub fn with_users(mut self, users: u32, skew: f64) -> Self {
+        self.users = users;
+        self.user_skew = skew;
+        self.popularity = user_popularity(users, skew);
+        self
+    }
+
     /// Resume a generator at `consumed` jobs already handed out by
     /// replaying that many draws of an identically-specced rebuild.
+    ///
+    /// # Panics
+    /// Panics if the generator's horizon closes before `consumed`
+    /// jobs; the checkpoint-restore path uses [`LoadGen::resume_to`]
+    /// to turn that into a typed error instead.
     #[must_use]
     pub fn resume(
         suite: &'a Suite,
@@ -332,14 +363,25 @@ impl<'a> LoadGen<'a> {
         max_gpus: usize,
         consumed: usize,
     ) -> Self {
-        let mut gen = Self::with_max_gpus(suite, shape, rate, duration, seed, max_gpus);
-        for i in 0..consumed {
-            assert!(
-                matches!(gen.poll(), SourcePoll::Job(_)),
-                "resume position {consumed} beyond the generator's horizon (closed at {i})"
-            );
+        Self::with_max_gpus(suite, shape, rate, duration, seed, max_gpus)
+            .resume_to(consumed)
+            .unwrap_or_else(|| panic!("resume position {consumed} beyond the generator's horizon"))
+    }
+
+    /// Replay `consumed` draws on this (freshly built) generator,
+    /// restoring the RNG cursor bit-exactly. Returns `None` — instead
+    /// of panicking — if the horizon closes first, which is how a
+    /// forged checkpoint position surfaces as a typed
+    /// [`crate::CheckpointError`] rather than a crash.
+    #[must_use]
+    pub fn resume_to(mut self, consumed: usize) -> Option<Self> {
+        assert_eq!(self.consumed, 0, "resume_to needs a fresh generator");
+        for _ in 0..consumed {
+            if !matches!(self.poll(), SourcePoll::Job(_)) {
+                return None;
+            }
         }
-        gen
+        Some(self)
     }
 
     /// An exponential gap with mean `1 / rate` (inverse-CDF over a
@@ -361,13 +403,15 @@ impl<'a> LoadGen<'a> {
         } else {
             1
         };
-        let job = ClusterJob {
+        let mut job = ClusterJob {
             id: self.next_id,
             name: self.suite.by_index(bench).app.name.clone(),
             bench,
             arrival: self.t,
             gpus,
+            user: 0,
         };
+        assign_user(self.seed, &self.popularity, &mut job);
         self.next_id += 1;
         self.consumed += 1;
         job
@@ -420,6 +464,8 @@ impl ArrivalSource for LoadGen<'_> {
             ("duration", format!("{:?}", self.duration)),
             ("seed", self.seed.to_string()),
             ("max_gpus", self.max_gpus.to_string()),
+            ("users", self.users.to_string()),
+            ("user_skew", format!("{:?}", self.user_skew)),
         ])
     }
 }
@@ -526,6 +572,31 @@ mod tests {
             let rest = drain(LoadGen::resume(&s, shape, 6.0, 40.0, 21, 2, cut));
             assert_eq!(rest.as_slice(), &full[cut..], "{}", shape.name());
         }
+    }
+
+    #[test]
+    fn load_gen_user_tagging_leaves_the_stream_untouched() {
+        let s = suite();
+        let plain = drain(LoadGen::new(&s, LoadShape::Bursty, 4.0, 50.0, 3));
+        let tagged = drain(LoadGen::new(&s, LoadShape::Bursty, 4.0, 50.0, 3).with_users(4, 1.4));
+        assert_eq!(plain.len(), tagged.len());
+        let mut seen = [false; 4];
+        for (a, b) in plain.iter().zip(&tagged) {
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+            assert_eq!((a.id, a.bench, a.gpus), (b.id, b.bench, b.gpus));
+            assert_eq!(a.user, 0);
+            seen[b.user as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "every tenant appears");
+    }
+
+    #[test]
+    fn resume_beyond_the_horizon_returns_none_not_a_panic() {
+        let s = suite();
+        let fresh = || LoadGen::new(&s, LoadShape::Poisson, 2.0, 20.0, 5);
+        let total = drain(fresh()).len();
+        assert!(fresh().resume_to(total).is_some());
+        assert!(fresh().resume_to(total + 1).is_none());
     }
 
     #[test]

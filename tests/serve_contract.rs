@@ -10,7 +10,13 @@
 //!   uninterrupted run produces — events, per-node rows, aggregate,
 //!   and the logical cycle counters;
 //! * the same kill/resume exactness holds for the open-loop load
-//!   generator, whose RNG cursor the restore replays.
+//!   generator, whose RNG cursor the restore replays;
+//! * the admission tier (ARCHITECTURE.md contract point 10): the
+//!   per-tenant quota is never exceeded, no admitted job is lost,
+//!   ordering-only admission is digest-identical to the batch
+//!   fair-order oracle for any thread count and chunk width in either
+//!   cycle mode, and kill/restore reproduces the admission decision
+//!   digest bit-exactly.
 //!
 //! Set `HRP_TEST_THREADS` to pick the parallel worker count the batch
 //! oracle runs under (CI runs the suite under 1 and 4).
@@ -18,13 +24,14 @@
 mod common;
 use common::test_threads;
 
+use hrp::cluster::fair::{job_cost, FairShare};
 use hrp::cluster::multinode::MultiNodeSim;
 use hrp::cluster::trace::{generate, TraceConfig, TraceKind};
 use hrp::cluster::SelectorKind;
 use hrp::prelude::*;
 use hrp::serve::{
-    dispatcher_for, restore, CycleMode, LoadGen, LoadShape, SchedulerService, ServeConfig,
-    ServiceStep, TraceSource,
+    dispatcher_for, restore, AdmissionConfig, CycleMode, LoadGen, LoadShape, SchedulerService,
+    ServeConfig, ServiceStep, TraceSource,
 };
 use proptest::prelude::*;
 
@@ -185,5 +192,166 @@ proptest! {
         prop_assert_eq!(&restored.report.timeline.events, &uninterrupted.report.timeline.events);
         prop_assert_eq!(&restored.report.aggregate, &uninterrupted.report.aggregate);
         prop_assert_eq!(restored.stats, uninterrupted.stats);
+    }
+
+    // Contract point 10, ordering half: with admission on but
+    // nothing to defer or reject (unlimited quota, infinite SLO),
+    // the service's karma-ordered timeline is digest-identical to
+    // the batch fair-order oracle — in either cycle mode, for any
+    // batch thread count, barrier or chunked.
+    #[test]
+    fn ordering_only_admission_is_mode_thread_and_chunk_invariant(
+        kind_idx in 0usize..6,
+        n_jobs in 1usize..=40,
+        seed in 0u64..u64::MAX,
+        mean_gap in 1.0f64..20.0,
+        users in 1u32..=5,
+        nodes in 1usize..=3,
+        half_life in 30.0f64..600.0,
+        chunk_width in 10.0f64..200.0,
+    ) {
+        let s = suite();
+        let cfg = TraceConfig::new(KINDS[kind_idx], n_jobs, seed)
+            .max_gpus(2)
+            .mean_gap(mean_gap)
+            .users(users);
+        let acfg = AdmissionConfig::new().half_life(half_life);
+        let mut digests = Vec::new();
+        let mut adm_digests = Vec::new();
+        for mode in [CycleMode::Incremental, CycleMode::Full] {
+            let mut svc = SchedulerService::new(
+                &s,
+                ServeConfig::new(nodes, 2).mode(mode).admission(acfg.clone()),
+                SelectorKind::LeastLoaded,
+                TraceSource::new(&s, cfg.clone()),
+            );
+            svc.run_to_close();
+            let served = svc.finish();
+            prop_assert_eq!(served.stats.deferred, 0);
+            prop_assert_eq!(served.stats.rejected, 0);
+            digests.push(served.report.timeline.digest());
+            adm_digests.push(served.admission.expect("admission on").digest);
+        }
+        for threads in [1, test_threads()] {
+            for chunk in [None, Some(chunk_width)] {
+                let mut sim = MultiNodeSim::new(nodes, 2)
+                    .with_threads(threads)
+                    .with_fair_order(acfg.fair_config());
+                if let Some(w) = chunk {
+                    sim = sim.with_chunk_width(w);
+                }
+                let mut sel = SelectorKind::LeastLoaded.build();
+                let batch = sim.run(&s, generate(&s, &cfg), sel.as_mut(), |_| {
+                    dispatcher_for(SelectorKind::LeastLoaded, 2, 0.0)
+                });
+                digests.push(batch.timeline.digest());
+            }
+        }
+        prop_assert!(digests.windows(2).all(|w| w[0] == w[1]),
+            "divergent timelines across modes/threads/chunks: {:x?}", digests);
+        prop_assert_eq!(adm_digests[0], adm_digests[1],
+            "admission digest differs between cycle modes");
+    }
+
+    // Contract point 10, quota half: replaying the effective
+    // admitted trace through a fresh `FairShare` with the service's
+    // own release rule (estimated completion = admission + solo
+    // time) never finds a tenant above quota at an admission
+    // instant, and no arrival is lost — every job was admitted or
+    // rejected exactly once.
+    #[test]
+    fn quota_is_never_exceeded_and_no_job_is_lost(
+        kind_idx in 0usize..6,
+        n_jobs in 1usize..=40,
+        seed in 0u64..u64::MAX,
+        mean_gap in 1.0f64..10.0,
+        users in 1u32..=4,
+        quota in 1usize..=3,
+        with_slo in any::<bool>(),
+        slo in 1.2f64..6.0,
+    ) {
+        let s = suite();
+        let cfg = TraceConfig::new(KINDS[kind_idx], n_jobs, seed)
+            .max_gpus(2)
+            .mean_gap(mean_gap)
+            .users(users);
+        let mut acfg = AdmissionConfig::new().quota(quota);
+        if with_slo {
+            acfg = acfg.slo(slo);
+        }
+        let mut svc = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2).admission(acfg.clone()),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, cfg),
+        );
+        svc.run_to_close();
+        let served = svc.finish();
+        let adm = served.admission.expect("admission on");
+        prop_assert_eq!(adm.effective.len() + served.stats.rejected as usize, n_jobs,
+            "every arrival is admitted or rejected exactly once");
+        if !with_slo {
+            prop_assert_eq!(served.stats.rejected, 0, "infinite SLO never rejects");
+        }
+        let mut share = FairShare::new(acfg.fair_config());
+        for job in &adm.effective {
+            share.advance_to(job.arrival);
+            prop_assert!(share.in_flight(job.user) < quota,
+                "tenant {} admitted at {} with {} already in flight (quota {})",
+                job.user, job.arrival, share.in_flight(job.user), quota);
+            share.admit(job.user, job_cost(&s, job), job.arrival + job.solo_time(&s));
+        }
+    }
+
+    // Contract point 10, checkpoint half: killing an
+    // admission-enabled service at an arbitrary consumed cut and
+    // restoring from the `HRPS` blob reproduces the timeline, the
+    // deferred/rejected counters, and the rolling admission decision
+    // digest bit-exactly.
+    #[test]
+    fn admission_kill_restore_reproduces_decisions_bit_exactly(
+        kind_idx in 0usize..6,
+        n_jobs in 1usize..=40,
+        seed in 0u64..u64::MAX,
+        mean_gap in 1.0f64..10.0,
+        users in 1u32..=4,
+        quota in 1usize..=3,
+        with_slo in any::<bool>(),
+        slo in 1.2f64..6.0,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let s = suite();
+        let cfg = TraceConfig::new(KINDS[kind_idx], n_jobs, seed)
+            .max_gpus(2)
+            .mean_gap(mean_gap)
+            .users(users);
+        let mut acfg = AdmissionConfig::new().quota(quota).half_life(90.0);
+        if with_slo {
+            acfg = acfg.slo(slo);
+        }
+        let cut = ((n_jobs as f64) * cut_frac) as usize;
+        let mut original = SchedulerService::new(
+            &s,
+            ServeConfig::new(2, 2).admission(acfg),
+            SelectorKind::LeastLoaded,
+            TraceSource::new(&s, cfg),
+        );
+        run_until_consumed(&mut original, cut);
+        let blob = original.checkpoint().expect("trace services checkpoint");
+        original.run_to_close();
+        let uninterrupted = original.finish();
+
+        let mut resumed = restore(&s, blob).expect("round-trip restore");
+        resumed.run_to_close();
+        let restored = resumed.finish();
+        prop_assert_eq!(&restored.report.timeline.events, &uninterrupted.report.timeline.events,
+            "kill at {} consumed jobs changed the admission-controlled schedule", cut);
+        prop_assert_eq!(restored.stats, uninterrupted.stats,
+            "deferred/rejected counters must survive the kill");
+        prop_assert_eq!(
+            restored.admission.expect("admission on").digest,
+            uninterrupted.admission.expect("admission on").digest,
+            "the rolling admission digest must survive the kill"
+        );
     }
 }
