@@ -5,7 +5,7 @@
 //!       [--env flat|hierarchical] [--nodes N]
 //!       [--selector round-robin|least-loaded|policy|fcfs|easy|conservative]
 //!       [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered]
-//!       [--chunk-width W] [--walltime-err F] [--reps N]
+//!       [--chunk-width W] [--walltime-err F] [--reps N] [--quantize]
 //!       [--source trace|poisson|bursty] [--rate F] [--duration F]
 //!       [--users N] [--user-skew F] [--quota N] [--slo F]
 //!       [--checkpoint PATH] [--restore PATH]
@@ -33,9 +33,14 @@
 //!             through incremental decision cycles; the default bench
 //!             mode writes BENCH_8.json, while --source/--checkpoint/
 //!             --restore run one live service with kill/resume
+//!   bench-infer  deployed-inference latency: the hrp-nn fast path
+//!             (scalar and SIMD kernels) vs the allocating predict
+//!             reference, equivalence-checked; writes BENCH_10.json
+//!             (--quantize adds the opt-in int8 row, gated on greedy
+//!             agreement)
 //!   ablate-reward | ablate-agent | ablate-interference
-//!   all       everything above except bench-cluster and serve
-//!             (fig8/11/12 share one training run)
+//!   all       everything above except bench-cluster, serve, and
+//!             bench-infer (fig8/11/12 share one training run)
 //! ```
 //!
 //! `--quick` shrinks the network and episode count for smoke runs; the
@@ -109,6 +114,14 @@
 //! admission tier from the snapshot, so the fairness flags are
 //! rejected there.
 //!
+//! The `bench-infer` command times one greedy placement decision
+//! through the `hrp-nn` deployed-inference fast path — the `predict`
+//! reference, the scalar kernel, and the auto-detected SIMD kernel —
+//! asserting all variants pick identical actions and that the fast
+//! path beats the reference before writing `BENCH_10.json`.
+//! `--quantize` adds the opt-in int8 row, gated on greedy agreement
+//! with the exact path; quantization is never on by default.
+//!
 //! Malformed invocations (unknown flags or commands, missing or
 //! unparsable values, `--shards 0`, `--nodes 0`, `--chunk-width 0`
 //! (or negative/non-finite), `--walltime-err` outside `[0, 1)` (or
@@ -118,9 +131,9 @@
 //! `--user-skew`/`--quota`/`--slo` without `--users`,
 //! `--env`/`--selector`/`--trace`/`--source` typos,
 //! `--checkpoint` colliding with `--restore`, `serve --selector
-//! policy`, fairness flags combined with `--restore`) exit with
-//! status 2 and a usage message rather than panicking or silently
-//! defaulting.
+//! policy`, fairness flags combined with `--restore`, `--quantize`
+//! outside `bench-infer`) exit with status 2 and a usage message
+//! rather than panicking or silently defaulting.
 
 use hrp_bench::eval::{
     ablate_agent, ablate_interference, ablate_reward, evaluation_queues, run_full, FullEvaluation,
@@ -164,8 +177,11 @@ struct Options {
     chunk_width: Option<f64>,
     /// Walltime-estimate error fraction for the backfill selectors.
     walltime_err: f64,
-    /// `bench-cluster`/`serve` repetitions (`0` = the mode default).
+    /// `bench-cluster`/`serve`/`bench-infer` repetitions (`0` = the
+    /// mode default).
     reps: usize,
+    /// `bench-infer`: also time the opt-in int8 variant.
+    quantize: bool,
     /// Arrival source of the `serve` command.
     source: ServeSource,
     /// `serve` load-generator offered rate (jobs per simulated second).
@@ -227,13 +243,13 @@ const USAGE: &str = "usage: repro [--quick] [--seed N] [--threads N] [--overlap]
 [--env flat|hierarchical] [--nodes N] \
 [--selector round-robin|least-loaded|policy|fcfs|easy|conservative] \
 [--trace uniform|bursty|skewed|heavy-tail|colocate|staggered] \
-[--chunk-width W] [--walltime-err F] [--reps N] \
+[--chunk-width W] [--walltime-err F] [--reps N] [--quantize] \
 [--source trace|poisson|bursty] [--rate F] [--duration F] \
 [--users N] [--user-skew F] [--quota N] [--slo F] \
 [--checkpoint PATH] [--restore PATH] \
 [--out DIR|--no-out] <command>
 commands: table4 table5 table7 fig3 fig4 fig5 fig8 fig9 fig10 fig11 fig12
-          overhead oracle cluster bench-cluster serve
+          overhead oracle cluster bench-cluster serve bench-infer
           ablate-reward ablate-agent ablate-interference all";
 
 /// Reject a malformed invocation: message + usage, exit status 2 (never
@@ -274,6 +290,7 @@ fn main() {
         chunk_width: None,
         walltime_err: 0.0,
         reps: 0,
+        quantize: false,
         source: ServeSource::Trace,
         rate: 8.0,
         duration: 60.0,
@@ -359,6 +376,7 @@ fn main() {
                 }
                 opts.reps = n;
             }
+            "--quantize" => opts.quantize = true,
             "--source" => {
                 let raw = flag_value(&mut it, "--source");
                 opts.source = match raw {
@@ -463,6 +481,9 @@ fn main() {
     if opts.users == 0 && (opts.user_skew.is_some() || opts.quota.is_some() || opts.slo.is_some()) {
         fail("--user-skew/--quota/--slo require --users (tenant-tagged arrivals)");
     }
+    if opts.quantize && cmd != "bench-infer" {
+        fail("--quantize only applies to bench-infer (quantization is opt-in, never a default)");
+    }
 
     let suite = Suite::paper_suite(&GpuArch::a100());
     match cmd {
@@ -510,6 +531,7 @@ fn main() {
         "oracle" => oracle_cmd(&suite, &opts),
         "cluster" => cluster_cmd(&suite, &opts),
         "bench-cluster" => bench_cluster_cmd(&suite, &opts),
+        "bench-infer" => bench_infer_cmd(&opts),
         "serve" => serve_cmd(&suite, &opts),
         "all" => {
             table4(&suite, &opts);
@@ -985,6 +1007,62 @@ fn bench_cluster_cmd(suite: &Suite, opts: &Options) {
     let json = render_json(&report);
     std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
     println!("# wrote BENCH_6.json");
+}
+
+fn bench_infer_cmd(opts: &Options) {
+    use hrp_bench::infer::{
+        render_infer_json, run_infer_bench, InferBenchConfig, INFER_BENCH_GPUS_PER_NODE,
+        INFER_BENCH_NODES,
+    };
+    let cfg = InferBenchConfig {
+        quick: opts.quick,
+        seed: opts.seed,
+        reps: opts.reps,
+        quantize: opts.quantize,
+    };
+    println!(
+        "# bench-infer: {} nodes x {} GPUs, hidden {:?}, {} states, \
+         {} decisions/rep, {} reps{}",
+        INFER_BENCH_NODES,
+        INFER_BENCH_GPUS_PER_NODE,
+        cfg.hidden(),
+        cfg.states(),
+        cfg.decisions(),
+        cfg.effective_reps(),
+        if cfg.quantize { ", +int8" } else { "" }
+    );
+    let report = run_infer_bench(&cfg);
+    if let Some(a) = report.int8_agreement {
+        println!("# int8 greedy agreement {a:.4}");
+    }
+    let mut t = Table::new(&[
+        "variant",
+        "kernel",
+        "ns_per_decision",
+        "std_err",
+        "ci95_lo",
+        "ci95_hi",
+        "p50_ns",
+        "p99_ns",
+        "digest",
+    ]);
+    for v in &report.variants {
+        t.row(vec![
+            v.variant.to_owned(),
+            v.kernel.to_owned(),
+            f3(v.ns_per_decision.mean),
+            f3(v.ns_per_decision.std_err),
+            f3(v.ns_per_decision.ci95_lo),
+            f3(v.ns_per_decision.ci95_hi),
+            f3(v.p50_ns),
+            f3(v.p99_ns),
+            format!("{:016x}", v.actions_digest),
+        ]);
+    }
+    t.emit("bench_infer", opts.out.as_deref());
+    let json = render_infer_json(&report);
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+    println!("# wrote BENCH_10.json");
 }
 
 fn serve_cmd(suite: &Suite, opts: &Options) {

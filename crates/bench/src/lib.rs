@@ -20,6 +20,10 @@
 //! * [`fair`] — the `repro serve --users` fairness harness (per-tenant
 //!   slowdown spread and Jain's index of the admission-controlled
 //!   front door vs plain FCFS, persisted as `BENCH_9.json`);
+//! * [`infer`] — the `repro bench-infer` deployed-inference harness
+//!   (nanoseconds per greedy placement decision: `predict` reference
+//!   vs the `FastPolicy` kernels vs opt-in int8, equivalence-checked
+//!   and persisted as `BENCH_10.json`);
 //! * [`stats`] — small-sample summaries (mean, standard error,
 //!   Student-t 95 % CI) backing the harness;
 //! * [`report`] — TSV table assembly and file output.
@@ -36,6 +40,7 @@ pub mod bench_cluster;
 pub mod cluster;
 pub mod eval;
 pub mod fair;
+pub mod infer;
 pub mod obs;
 pub mod report;
 pub mod serve;

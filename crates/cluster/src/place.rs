@@ -1267,6 +1267,43 @@ mod tests {
     }
 
     #[test]
+    fn policy_selector_digest_invariant_to_rng_removal() {
+        // PolicySelector used to seed and thread a SmallRng through its
+        // ε = 0 selections even though it was never consulted; this
+        // pins that the RNG-free fast path makes every decision — and
+        // therefore the merged cluster timeline — identical to the
+        // reference `QNet::predict` + lowest-index argmax.
+        use hrp_core::rl::GreedyPolicy;
+        struct Reference {
+            net: hrp_nn::QNet,
+        }
+        impl GreedyPolicy for Reference {
+            fn greedy(&mut self, state: &[f32], mask: u64) -> usize {
+                let q = self.net.predict(state);
+                hrp_nn::masked_argmax(&q, |a| mask & (1 << a) != 0).expect("non-empty mask")
+            }
+        }
+        let s = suite();
+        let cfg = PlacementConfig::quick();
+        let agent = PlacementAgent::untrained(cfg.clone());
+        let t = skewed_trace(&s, 24, 11);
+        let mut fast_sel = agent.selector();
+        let fast = MultiNodeSim::new(cfg.nodes, cfg.gpus_per_node).run(
+            &s,
+            t.clone(),
+            &mut fast_sel,
+            |_| cfg.node_dispatcher(),
+        );
+        let mut ref_sel = PolicySelector::new(Reference {
+            net: agent.dqn().online_net().clone(),
+        });
+        let reference =
+            MultiNodeSim::new(cfg.nodes, cfg.gpus_per_node)
+                .run(&s, t, &mut ref_sel, |_| cfg.node_dispatcher());
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
     fn backfill_parameterized_env_matches_deployment() {
         // Same equivalence with the planner parameterized: EASY
         // backfilling nodes, noisy walltime estimates, and a

@@ -21,16 +21,14 @@
 //!   policy trained on simulated episodes sees live loads in the same
 //!   coordinates.
 //! * [`PolicySelector`] closes the loop: it encodes *live* node loads
-//!   and asks a frozen [`SnapshotPolicy`] greedily — a learner trained
+//!   and asks a frozen [`GreedyPolicy`] for its action — a learner trained
 //!   on placement episodes becomes a drop-in [`NodeSelector`].
 //!
 //! The environment itself lives in `hrp-cluster` (it drives the
 //! event-driven node simulators, which this crate cannot depend on);
 //! only the selector-side contract lives here.
 
-use crate::rl::SnapshotPolicy;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::rl::GreedyPolicy;
 
 /// A snapshot of one node's load, as seen by a [`NodeSelector`] when a
 /// job arrives. Indexed by node id in the slice handed to
@@ -119,30 +117,35 @@ pub fn encode_placement_state(loads: &[NodeLoad], gpus: usize, work: f64, out: &
     out.push((work / scale) as f32);
 }
 
-/// A [`NodeSelector`] driven by a frozen [`SnapshotPolicy`]: live node
+/// A [`NodeSelector`] driven by a frozen [`GreedyPolicy`]: live node
 /// loads are encoded exactly as the placement environment encodes its
-/// simulated ones, and the policy picks greedily (ε = 0, so the RNG is
-/// never actually consulted — placement stays deterministic).
-pub struct PolicySelector<P: SnapshotPolicy> {
+/// simulated ones, and the policy picks greedily — deterministic, ties
+/// to the lowest node id, with the encode scratch reused so a
+/// steady-state decision performs **zero heap allocations**.
+///
+/// Earlier versions carried a seeded `SmallRng` for the ε-greedy
+/// interface even though ε = 0 never consults it; the dead RNG state
+/// leaked into every clone and checkpoint of the selector. Placement
+/// decisions are unchanged by its removal (the digest-invariance
+/// regression tests in `hrp-cluster` pin this).
+pub struct PolicySelector<P> {
     policy: P,
-    rng: SmallRng,
     scratch: Vec<f32>,
 }
 
-impl<P: SnapshotPolicy> PolicySelector<P> {
+impl<P: GreedyPolicy> PolicySelector<P> {
     /// Wrap a frozen policy (e.g. a [`crate::rl::Learner`] snapshot
     /// trained on `hrp-cluster::place::ClusterEnv` episodes).
     #[must_use]
     pub fn new(policy: P) -> Self {
         Self {
             policy,
-            rng: SmallRng::seed_from_u64(0),
             scratch: Vec::new(),
         }
     }
 }
 
-impl<P: SnapshotPolicy> NodeSelector for PolicySelector<P> {
+impl<P: GreedyPolicy> NodeSelector for PolicySelector<P> {
     fn name(&self) -> &'static str {
         "policy"
     }
@@ -151,8 +154,7 @@ impl<P: SnapshotPolicy> NodeSelector for PolicySelector<P> {
         let mask = placement_fit_mask(loads, gpus);
         assert!(mask != 0, "no node can host a {gpus}-GPU job");
         encode_placement_state(loads, gpus, work, &mut self.scratch);
-        self.policy
-            .select_action(&self.scratch, mask, 0.0, &mut self.rng)
+        self.policy.greedy(&self.scratch, mask)
     }
 }
 
@@ -213,8 +215,8 @@ mod tests {
 
     /// A fixed policy: always the highest valid bit.
     struct TopBit;
-    impl SnapshotPolicy for TopBit {
-        fn select_action(&self, _s: &[f32], mask: u64, _eps: f64, _rng: &mut SmallRng) -> usize {
+    impl GreedyPolicy for TopBit {
+        fn greedy(&mut self, _s: &[f32], mask: u64) -> usize {
             (63 - mask.leading_zeros()) as usize
         }
     }

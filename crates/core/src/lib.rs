@@ -82,5 +82,5 @@ pub use policies::{
     MigMpsDefault, MigMpsRl, MigOnly, MpsOnly, Policy, ScheduleContext, TimeSharing,
 };
 pub use problem::{ScheduleDecision, ScheduledGroup};
-pub use rl::{Env, EnvFactory, EnvKind, Learner, SnapshotPolicy};
+pub use rl::{Env, EnvFactory, EnvKind, GreedyPolicy, Learner, SnapshotPolicy};
 pub use train::{train, train_env, PipelineConfig, TrainConfig, TrainedAgent};

@@ -30,9 +30,9 @@
 //! regression tests.
 
 use crate::env::StepResult;
-use hrp_nn::dqn::epsilon_greedy_action;
+use hrp_nn::dqn::{epsilon_greedy_action_with, ActionScratch};
 use hrp_nn::replay::Transition;
-use hrp_nn::{DqnAgent, QNet};
+use hrp_nn::{DqnAgent, FastPolicy, QNet};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
@@ -157,6 +157,37 @@ pub trait EnvFactory: Sync {
 pub trait SnapshotPolicy: Send + Sync {
     /// ε-greedy action among the mask's valid bits.
     fn select_action(&self, state: &[f32], mask: u64, epsilon: f64, rng: &mut SmallRng) -> usize;
+
+    /// [`SnapshotPolicy::select_action`] with caller-owned scratch, for
+    /// hot rollout loops: implementations that run a network forward
+    /// per call should override this to reuse `scratch` instead of
+    /// allocating, keeping RNG draws and selected actions identical.
+    /// The default ignores the scratch.
+    fn select_action_with(
+        &self,
+        state: &[f32],
+        mask: u64,
+        epsilon: f64,
+        rng: &mut SmallRng,
+        scratch: &mut ActionScratch,
+    ) -> usize {
+        let _ = scratch;
+        self.select_action(state, mask, epsilon, rng)
+    }
+}
+
+/// A deployed greedy policy: ε = 0, deterministic, `&mut self` so
+/// implementations can own preallocated inference scratch — the
+/// contract [`crate::cluster_env::PolicySelector`] drives every
+/// placement decision through.
+///
+/// Contrast with [`SnapshotPolicy`], which is `&self` (one snapshot is
+/// shared across rollout worker threads) and therefore cannot reuse
+/// mutable scratch; deployment owns its policy exclusively, so the
+/// fast path can be allocation-free.
+pub trait GreedyPolicy {
+    /// Greedy action among the mask's valid bits (ties → lowest index).
+    fn greedy(&mut self, state: &[f32], mask: u64) -> usize;
 }
 
 /// The learner side of the pipeline: remembers transitions, takes
@@ -183,15 +214,60 @@ pub trait Learner {
 }
 
 /// A frozen DQN behaviour policy: the online network's weights plus the
-/// action-space size (masks may be narrower than 64 bits).
+/// action-space size (masks may be narrower than 64 bits), with the
+/// planned inference fast path ([`FastPolicy`]) built once at freeze
+/// time for greedy deployment.
 pub struct DqnSnapshot {
     net: QNet,
     n_actions: usize,
+    fast: FastPolicy,
 }
 
 impl SnapshotPolicy for DqnSnapshot {
     fn select_action(&self, state: &[f32], mask: u64, epsilon: f64, rng: &mut SmallRng) -> usize {
-        epsilon_greedy_action(&self.net, state, mask, self.n_actions, epsilon, rng)
+        let mut scratch = ActionScratch::default();
+        self.select_action_with(state, mask, epsilon, rng, &mut scratch)
+    }
+
+    fn select_action_with(
+        &self,
+        state: &[f32],
+        mask: u64,
+        epsilon: f64,
+        rng: &mut SmallRng,
+        scratch: &mut ActionScratch,
+    ) -> usize {
+        epsilon_greedy_action_with(
+            &self.net,
+            state,
+            mask,
+            self.n_actions,
+            epsilon,
+            rng,
+            scratch,
+        )
+    }
+}
+
+impl GreedyPolicy for DqnSnapshot {
+    fn greedy(&mut self, state: &[f32], mask: u64) -> usize {
+        // The fast path is bit-identical to `QNet::predict_batch`, and
+        // `FastPolicy::greedy` breaks ties to the lowest index exactly
+        // like `DqnAgent::greedy_action` — so deployment and greedy
+        // eval rollouts can never diverge.
+        self.fast.greedy(state, mask)
+    }
+}
+
+impl GreedyPolicy for FastPolicy {
+    fn greedy(&mut self, state: &[f32], mask: u64) -> usize {
+        FastPolicy::greedy(self, state, mask)
+    }
+}
+
+impl GreedyPolicy for hrp_nn::Int8Policy {
+    fn greedy(&mut self, state: &[f32], mask: u64) -> usize {
+        hrp_nn::Int8Policy::greedy(self, state, mask)
     }
 }
 
@@ -202,6 +278,7 @@ impl Learner for DqnAgent {
         DqnSnapshot {
             net: self.online_net().clone(),
             n_actions: self.config().n_actions,
+            fast: FastPolicy::new(self.online_net()),
         }
     }
 

@@ -60,6 +60,7 @@ use crate::par::resolve_threads;
 use crate::problem::ScheduleDecision;
 use crate::rl::{greedy_rollout, Env, EnvFactory, EnvKind, Learner, SnapshotPolicy};
 use hrp_gpusim::engine::EngineConfig;
+use hrp_nn::dqn::ActionScratch;
 use hrp_nn::net::Head;
 use hrp_nn::replay::Transition;
 use hrp_nn::{DqnAgent, DqnConfig, EpsilonSchedule};
@@ -426,13 +427,14 @@ fn rollout_episode<F: EnvFactory, S: SnapshotPolicy>(
     let mut state = Vec::new();
     let mut transitions = Vec::new();
     let mut rfs = Vec::new();
+    let mut scratch = ActionScratch::default();
     let mut ep_return = 0.0;
     let mut local_step = 0u64;
     while !env.done() {
         env.state_into(&mut state);
         let mask = env.valid_mask();
         let epsilon = eps.value(base_step + local_step);
-        let action = snapshot.select_action(&state, mask, epsilon, &mut rng);
+        let action = snapshot.select_action_with(&state, mask, epsilon, &mut rng, &mut scratch);
         let out = env.step(action);
         ep_return += out.reward;
         rfs.push(out.rf);

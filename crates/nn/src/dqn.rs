@@ -11,7 +11,7 @@
 //! weights to within float accumulation error, which the equivalence
 //! tests pin down; the benchmarks measure the gap between the two.
 
-use crate::net::{Head, QNet};
+use crate::net::{Head, PredictScratch, QNet};
 use crate::opt::Adam;
 use crate::replay::{MiniBatch, Transition};
 use crate::sharded::ShardedReplay;
@@ -104,12 +104,42 @@ pub fn epsilon_greedy_action(
     epsilon: f64,
     rng: &mut SmallRng,
 ) -> usize {
+    let mut scratch = ActionScratch::default();
+    epsilon_greedy_action_with(net, state, mask, n_actions, epsilon, rng, &mut scratch)
+}
+
+/// Reusable buffers for [`epsilon_greedy_action_with`]: the Q-value
+/// vector plus the network's inference scratch. After warm-up, action
+/// selection performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct ActionScratch {
+    predict: PredictScratch,
+    q: Vec<f32>,
+}
+
+/// [`epsilon_greedy_action`] with caller-owned scratch — identical RNG
+/// draws and bit-identical Q-values (it runs the same kernels through
+/// [`QNet::predict_into`]), so the two forms can never diverge; this
+/// one just keeps the hot loop off the allocator.
+///
+/// # Panics
+/// Panics if the mask has no valid action.
+pub fn epsilon_greedy_action_with(
+    net: &QNet,
+    state: &[f32],
+    mask: u64,
+    n_actions: usize,
+    epsilon: f64,
+    rng: &mut SmallRng,
+    scratch: &mut ActionScratch,
+) -> usize {
     assert!(mask != 0, "no valid action");
     if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
         masked_uniform(mask, n_actions, rng).expect("mask checked non-empty")
     } else {
-        let q = net.predict(state);
-        masked_argmax_tiebreak(&q, |a| mask & (1 << a) != 0, rng).expect("mask checked non-empty")
+        net.predict_into(state, &mut scratch.predict, &mut scratch.q);
+        masked_argmax_tiebreak(&scratch.q, |a| mask & (1 << a) != 0, rng)
+            .expect("mask checked non-empty")
     }
 }
 
@@ -122,6 +152,8 @@ pub struct DqnAgent {
     buffer: ShardedReplay,
     rng: SmallRng,
     learn_steps: u64,
+    /// Reusable action-selection scratch (allocation-free hot loop).
+    act_scratch: ActionScratch,
     grad_buf: Vec<f32>,
     delta_buf: Vec<f32>,
     /// Reusable batched-learning scratch.
@@ -164,6 +196,7 @@ impl DqnAgent {
             buffer,
             rng,
             learn_steps: 0,
+            act_scratch: ActionScratch::default(),
             grad_buf: Vec::new(),
             delta_buf: Vec::new(),
             minibatch: MiniBatch::new(),
@@ -194,13 +227,14 @@ impl DqnAgent {
     /// # Panics
     /// Panics if the mask has no valid action.
     pub fn select_action(&mut self, state: &[f32], mask: u64, epsilon: f64) -> usize {
-        epsilon_greedy_action(
+        epsilon_greedy_action_with(
             &self.online,
             state,
             mask,
             self.cfg.n_actions,
             epsilon,
             &mut self.rng,
+            &mut self.act_scratch,
         )
     }
 

@@ -27,6 +27,10 @@
 //! * [`dqn`] — the agent: ε-greedy action selection with RNG-stream tie
 //!   breaking, double-DQN targets, Huber loss, periodic target-network
 //!   sync; one `learn()` call runs the whole minibatch batched;
+//! * [`infer`] — the deployed-inference fast path: [`infer::FastPolicy`]
+//!   pre-plans the layer walk with preallocated scratch and runtime-
+//!   detected AVX2 microkernels, bit-identical to `predict_batch`;
+//!   [`infer::Int8Policy`] is the opt-in quantized variant;
 //! * [`serialize`] — weight snapshots to/from bytes.
 //!
 //! Everything is deterministic for a fixed seed (`rand::SmallRng`), the
@@ -38,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dqn;
+pub mod infer;
 pub mod layers;
 pub mod net;
 pub mod opt;
@@ -47,8 +52,9 @@ pub mod serialize;
 pub mod sharded;
 pub mod tensor;
 
-pub use dqn::{DqnAgent, DqnConfig};
-pub use net::{Head, QNet};
+pub use dqn::{ActionScratch, DqnAgent, DqnConfig};
+pub use infer::{FastPolicy, Int8Policy, Kernel};
+pub use net::{Head, PredictScratch, QNet};
 pub use opt::Adam;
 pub use replay::{MiniBatch, ReplayBuffer, Transition};
 pub use schedule::EpsilonSchedule;

@@ -28,7 +28,7 @@ pub enum Head {
 
 /// Reusable scratch for the dueling head's batched passes.
 #[derive(Debug, Clone, Default)]
-struct DuelingScratch {
+pub(crate) struct DuelingScratch {
     vout: Vec<f32>,
     aout: Vec<f32>,
     da: Vec<f32>,
@@ -38,13 +38,24 @@ struct DuelingScratch {
 
 #[allow(clippy::large_enum_variant)] // exactly one head lives per net
 #[derive(Clone)]
-enum HeadLayers {
+pub(crate) enum HeadLayers {
     Plain(Linear),
     Dueling {
         v: Linear,
         a: Linear,
         scratch: DuelingScratch,
     },
+}
+
+/// Reusable buffers for the single-sample inference wrappers
+/// ([`QNet::predict_into`]): after the first call on a given network
+/// shape, steady-state inference performs **zero heap allocations**.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    cur: Vec<f32>,
+    next: Vec<f32>,
+    vout: Vec<f32>,
+    aout: Vec<f32>,
 }
 
 /// The Q-network. `Clone` gives an independent full copy (weights plus
@@ -174,30 +185,41 @@ impl QNet {
         }
     }
 
+    /// Single-sample inference into caller-owned scratch and output —
+    /// the allocation-free form of [`QNet::predict`]. Runs exactly the
+    /// same kernel calls in the same order as `predict_batch` at
+    /// batch 1, so the Q-values are **bit-identical** to both; only the
+    /// buffer ownership differs. After the first call on a given
+    /// network shape, steady-state calls perform zero heap allocations.
+    pub fn predict_into(&self, x: &[f32], scratch: &mut PredictScratch, out: &mut Vec<f32>) {
+        let n = self.n_actions;
+        let (cur, next) = (&mut scratch.cur, &mut scratch.next);
+        cur.clear();
+        cur.extend_from_slice(x);
+        for (lin, _) in &self.trunk {
+            lin.forward_inference_batch(cur, 1, next);
+            Relu::forward_inference(next);
+            std::mem::swap(cur, next);
+        }
+        match &self.head {
+            HeadLayers::Plain(l) => l.forward_inference_batch(cur, 1, out),
+            HeadLayers::Dueling { v, a, .. } => {
+                v.forward_inference_batch(cur, 1, &mut scratch.vout);
+                a.forward_inference_batch(cur, 1, &mut scratch.aout);
+                let mean = scratch.aout.iter().sum::<f32>() / n as f32;
+                out.clear();
+                out.extend(scratch.aout.iter().map(|ai| scratch.vout[0] + ai - mean));
+            }
+        }
+    }
+
     /// Batched inference-only forward (no caches touched; usable on
     /// `&self` from rollout workers sharing a snapshot).
     pub fn predict_batch(&self, x: &[f32], batch: usize, out: &mut Vec<f32>) {
         let n = self.n_actions;
         if batch == 1 {
-            let mut cur = x.to_vec();
-            let mut next = Vec::new();
-            for (lin, _) in &self.trunk {
-                lin.forward_inference_batch(&cur, 1, &mut next);
-                Relu::forward_inference(&mut next);
-                std::mem::swap(&mut cur, &mut next);
-            }
-            match &self.head {
-                HeadLayers::Plain(l) => l.forward_inference_batch(&cur, 1, out),
-                HeadLayers::Dueling { v, a, .. } => {
-                    let mut vout = Vec::new();
-                    v.forward_inference_batch(&cur, 1, &mut vout);
-                    let mut aout = Vec::new();
-                    a.forward_inference_batch(&cur, 1, &mut aout);
-                    let mean = aout.iter().sum::<f32>() / n as f32;
-                    out.clear();
-                    out.extend(aout.iter().map(|ai| vout[0] + ai - mean));
-                }
-            }
+            let mut scratch = PredictScratch::default();
+            self.predict_into(x, &mut scratch, out);
             return;
         }
         let state_dim = x.len() / batch;
@@ -335,18 +357,42 @@ impl QNet {
     }
 
     /// Single-sample forward pass with caching (batch-size-1 wrapper).
+    ///
+    /// Allocates the returned vector; training-loop callers that care
+    /// should use [`QNet::forward_into`].
     pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         let mut out = Vec::new();
         self.forward_batch(x, 1, &mut out);
         out
     }
 
+    /// Single-sample forward pass with caching, writing into a reusable
+    /// out-param instead of allocating a fresh vector per call.
+    pub fn forward_into(&mut self, x: &[f32], out: &mut Vec<f32>) {
+        self.forward_batch(x, 1, out);
+    }
+
     /// Single-sample inference (no caches touched; usable on `&self`).
+    ///
+    /// Allocates the returned vector **and** its internal buffers per
+    /// call; hot-path callers should use [`QNet::predict_into`] (same
+    /// values bit-for-bit) or the planned fast path
+    /// ([`crate::infer::FastPolicy`]).
     #[must_use]
     pub fn predict(&self, x: &[f32]) -> Vec<f32> {
         let mut out = Vec::new();
         self.predict_batch(x, 1, &mut out);
         out
+    }
+
+    /// The trunk layers, in forward order (fast-path planning).
+    pub(crate) fn trunk_layers(&self) -> &[(Linear, Relu)] {
+        &self.trunk
+    }
+
+    /// The head layers (fast-path planning).
+    pub(crate) fn head_layers(&self) -> &HeadLayers {
+        &self.head
     }
 
     /// Single-sample backward pass (batch-size-1 wrapper).
